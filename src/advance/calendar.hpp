@@ -1,0 +1,66 @@
+// Time-indexed capacity accounting for *future reservations*. The paper's
+// negotiation framework includes "QoS Negotiation with Future Reservations"
+// [Haf 96]: instead of rejecting a request outright (FAILEDTRYLATER), the
+// system can book the resources for a later start time and counter-offer
+// "your document can start at T". A CapacityCalendar tracks piecewise-
+// constant usage of one resource (a link's bandwidth, a server's disk
+// bandwidth) over continuous time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace qosnp {
+
+using BookingId = std::uint64_t;
+
+struct Booking {
+  BookingId id = 0;
+  std::int64_t rate_bps = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+class CapacityCalendar {
+ public:
+  explicit CapacityCalendar(std::int64_t capacity_bps) : capacity_(capacity_bps) {}
+
+  std::int64_t capacity() const { return capacity_; }
+  std::size_t booking_count() const { return bookings_.size(); }
+
+  /// Peak booked rate over [start, end).
+  std::int64_t peak_usage(double start_s, double end_s) const;
+  /// Booked rate at one instant.
+  std::int64_t usage_at(double t_s) const { return peak_usage(t_s, t_s); }
+
+  /// Would `rate` fit throughout [start, end)?
+  bool fits(std::int64_t rate_bps, double start_s, double end_s) const {
+    return rate_bps > 0 && start_s < end_s &&
+           peak_usage(start_s, end_s) + rate_bps <= capacity_;
+  }
+
+  /// Reserve `rate` over [start, end).
+  Result<BookingId> book(std::int64_t rate_bps, double start_s, double end_s);
+  bool cancel(BookingId id);
+
+  /// Earliest start time >= `not_before` at which `rate` fits for
+  /// `duration`, searching up to `horizon` (absolute). Candidate start
+  /// times are `not_before` and the end of each existing booking — usage
+  /// can only drop at those instants.
+  std::optional<double> earliest_fit(std::int64_t rate_bps, double duration_s,
+                                     double not_before_s, double horizon_s) const;
+
+  /// Drop bookings that ended before `t` (periodic housekeeping).
+  void trim(double t_s);
+
+ private:
+  std::int64_t capacity_;
+  std::map<BookingId, Booking> bookings_;
+  BookingId next_id_ = 1;
+};
+
+}  // namespace qosnp

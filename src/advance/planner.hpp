@@ -1,0 +1,98 @@
+// Future-reservation planner: the negotiation extension of [Haf 96] the
+// paper cites ("Quality of Service Negotiation with Future Reservations").
+// When the classified offer list cannot be committed *now*, the planner
+// books the resources of the best offer at the earliest time they are all
+// free, producing the counter-offer "the document can start at T" instead
+// of a bare FAILEDTRYLATER.
+//
+// The planner owns one CapacityCalendar per media server and per network
+// link and books every admitted plan into them, so successive plans see
+// each other — a self-contained advance-booking world that mirrors the
+// immediate-mode admission rules (guaranteed streams book their peak rate,
+// best-effort streams their average; every component is booked over the
+// whole document playout window).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "advance/calendar.hpp"
+#include "client/client_machine.hpp"
+#include "core/classify.hpp"
+#include "core/offer.hpp"
+#include "net/topology.hpp"
+#include "server/media_server.hpp"
+
+namespace qosnp {
+
+using PlanId = std::uint64_t;
+
+struct FuturePlan {
+  PlanId id = 0;
+  std::size_t offer_index = SIZE_MAX;  ///< index into the OfferList it was planned from
+  double start_s = 0.0;
+  double end_s = 0.0;
+  bool satisfies_user = false;  ///< did the planned offer meet QoS + budget?
+  UserOffer offer;
+};
+
+/// Planner tuning knobs.
+struct FuturePlannerConfig {
+  /// How far into the future starts may be searched (relative to
+  /// `not_before`).
+  double max_start_delay_s = 3'600.0;
+};
+
+class FutureReservationPlanner {
+ public:
+  using Config = FuturePlannerConfig;
+
+  FutureReservationPlanner(const Topology& topology,
+                           const std::vector<MediaServerConfig>& servers,
+                           Config config = Config{});
+
+  /// Find the best (offer, start-time) pair for a classified offer list and
+  /// book it: offers are walked Step-5 style (user-satisfying offers first,
+  /// then the rest, in classification order); within a pass the offer with
+  /// the earliest feasible start wins, classification rank breaking ties.
+  /// Fails when nothing fits within the search window.
+  Result<FuturePlan> plan(const ClientMachine& client, const OfferList& offers,
+                          const MMProfile& profile, double not_before_s);
+
+  /// Release a plan's bookings (user declined the counter-offer, or the
+  /// session ended).
+  bool cancel(PlanId id);
+
+  /// Drop bookings ending before `now` from every calendar.
+  void trim(double now_s);
+
+  /// Earliest feasible common start for one offer (exposed for tests).
+  std::optional<double> earliest_start(const ClientMachine& client, const SystemOffer& offer,
+                                       double not_before_s, double horizon_s) const;
+
+  std::size_t active_plans() const { return plans_.size(); }
+
+ private:
+  struct Resource {
+    CapacityCalendar* calendar;
+    std::int64_t rate_bps;
+  };
+
+  /// The calendars and rates one offer occupies (server + path links per
+  /// component); empty on routing/lookup failure.
+  Result<std::vector<Resource>> resources_for(const ClientMachine& client,
+                                              const SystemOffer& offer) const;
+
+  const Topology* topology_;
+  Config config_;
+  std::unordered_map<ServerId, std::unique_ptr<CapacityCalendar>> server_calendars_;
+  std::unordered_map<ServerId, NodeId> server_nodes_;
+  std::vector<std::unique_ptr<CapacityCalendar>> link_calendars_;
+  std::unordered_map<PlanId, std::vector<std::pair<CapacityCalendar*, BookingId>>> plans_;
+  PlanId next_id_ = 1;
+};
+
+}  // namespace qosnp

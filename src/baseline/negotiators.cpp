@@ -1,0 +1,173 @@
+#include "baseline/negotiators.hpp"
+
+#include <algorithm>
+
+#include "qosmap/mapping.hpp"
+
+namespace qosnp {
+
+NegotiationOutcome EnumeratingNegotiator::negotiate(const ClientMachine& client,
+                                                    const DocumentId& document_id,
+                                                    const UserProfile& profile) {
+  NegotiationOutcome outcome;
+  auto document = catalog_->find(document_id);
+  if (!document) {
+    outcome.status = NegotiationStatus::kFailedWithoutOffer;
+    outcome.problems.push_back("document '" + document_id + "' not found in the catalog");
+    return outcome;
+  }
+  const LocalCheck local = local_negotiation(client, profile.mm);
+  if (!local.ok) {
+    outcome.status = NegotiationStatus::kFailedWithLocalOffer;
+    outcome.problems = local.problems;
+    outcome.user_offer = local_offer_from(local.local_offer);
+    return outcome;
+  }
+  auto feasible = compatible_variants(document, client, profile.mm);
+  if (!feasible.ok()) {
+    outcome.status = NegotiationStatus::kFailedWithoutOffer;
+    outcome.problems.push_back(feasible.error());
+    return outcome;
+  }
+  outcome.offers = enumerate_offers(feasible.value(), profile.mm, cost_model_, enumeration_);
+  order_offers(outcome.offers.offers, profile);
+
+  ResourceCommitter committer(*farm_, *transport_);
+  for (std::size_t i = 0; i < outcome.offers.offers.size(); ++i) {
+    auto committed = committer.commit(client, outcome.offers.offers[i]);
+    if (!committed.ok()) {
+      outcome.problems.push_back(committed.error());
+      continue;
+    }
+    outcome.committed_index = i;
+    outcome.commitment = std::move(committed.value());
+    const SystemOffer& offer = outcome.offers.offers[i];
+    outcome.user_offer = derive_user_offer(offer);
+    outcome.status = satisfies_user(offer, profile.mm) ? NegotiationStatus::kSucceeded
+                                                       : NegotiationStatus::kFailedWithOffer;
+    return outcome;
+  }
+  outcome.status = NegotiationStatus::kFailedTryLater;
+  return outcome;
+}
+
+void CostOnlyNegotiator::order_offers(std::vector<SystemOffer>& offers,
+                                      const UserProfile& profile) {
+  // Fill sns/oif for reporting parity, then sort purely by cost.
+  for (SystemOffer& o : offers) {
+    o.sns = compute_sns(o, profile.mm, profile.importance);
+    o.oif = compute_oif(o, profile.importance);
+  }
+  std::sort(offers.begin(), offers.end(), [](const SystemOffer& a, const SystemOffer& b) {
+    return a.total_cost() < b.total_cost();
+  });
+}
+
+void QoSOnlyNegotiator::order_offers(std::vector<SystemOffer>& offers,
+                                     const UserProfile& profile) {
+  for (SystemOffer& o : offers) {
+    o.sns = compute_sns(o, profile.mm, profile.importance);
+    o.oif = compute_oif(o, profile.importance);
+  }
+  // Pure QoS ranking: the importance of the QoS alone (no cost term).
+  auto qos_score = [&profile](const SystemOffer& o) {
+    double sum = 0.0;
+    for (const OfferComponent& c : o.components) {
+      sum += profile.importance.qos_importance(c.variant->qos);
+    }
+    return sum;
+  };
+  std::sort(offers.begin(), offers.end(),
+            [&](const SystemOffer& a, const SystemOffer& b) { return qos_score(a) > qos_score(b); });
+}
+
+NegotiationOutcome BasicNegotiator::negotiate(const ClientMachine& client,
+                                              const DocumentId& document_id,
+                                              const UserProfile& profile) {
+  NegotiationOutcome outcome;
+  auto document = catalog_->find(document_id);
+  if (!document) {
+    outcome.status = NegotiationStatus::kFailedWithoutOffer;
+    outcome.problems.push_back("document '" + document_id + "' not found in the catalog");
+    return outcome;
+  }
+  const LocalCheck local = local_negotiation(client, profile.mm);
+  if (!local.ok) {
+    outcome.status = NegotiationStatus::kFailedWithLocalOffer;
+    outcome.problems = local.problems;
+    outcome.user_offer = local_offer_from(local.local_offer);
+    return outcome;
+  }
+  auto feasible = compatible_variants(document, client, profile.mm);
+  if (!feasible.ok()) {
+    outcome.status = NegotiationStatus::kFailedWithoutOffer;
+    outcome.problems.push_back(feasible.error());
+    return outcome;
+  }
+
+  // Static component choice: for each monomedia the first variant that
+  // satisfies the *desired* QoS — the component "a priori known to support
+  // a specific QoS". No desired-satisfying variant -> reject outright.
+  const FeasibleSet& fs = feasible.value();
+  SystemOffer offer;
+  std::vector<StreamRequirements> streams;
+  for (std::size_t i = 0; i < fs.monomedia.size(); ++i) {
+    const Variant* chosen = nullptr;
+    for (const Variant* v : fs.variants[i]) {
+      const bool fits = std::visit(
+          [&](const auto& q) {
+            using T = std::decay_t<decltype(q)>;
+            if constexpr (std::is_same_v<T, VideoQoS>) {
+              return !profile.mm.video || profile.mm.video->satisfied_by(q);
+            } else if constexpr (std::is_same_v<T, AudioQoS>) {
+              return !profile.mm.audio || profile.mm.audio->satisfied_by(q);
+            } else if constexpr (std::is_same_v<T, TextQoS>) {
+              return !profile.mm.text || profile.mm.text->satisfied_by(q);
+            } else {
+              return !profile.mm.image || profile.mm.image->satisfied_by(q);
+            }
+          },
+          v->qos);
+      if (fits) {
+        chosen = v;
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      outcome.status = NegotiationStatus::kFailedWithoutOffer;
+      outcome.problems.push_back("no variant of '" + fs.monomedia[i]->id +
+                                 "' supports the requested QoS");
+      return outcome;
+    }
+    OfferComponent c;
+    c.monomedia = fs.monomedia[i];
+    c.variant = chosen;
+    c.requirements = map_variant(*chosen, fs.monomedia[i]->duration_s, profile.mm.time);
+    streams.push_back(c.requirements);
+    offer.components.push_back(c);
+  }
+  offer.cost = cost_model_.document_cost(fs.document->copyright_cost, streams);
+  offer.sns = compute_sns(offer, profile.mm, profile.importance);
+  offer.oif = compute_oif(offer, profile.importance);
+
+  outcome.offers.document = fs.document;
+  outcome.offers.total_combinations = 1;
+  outcome.offers.offers.push_back(std::move(offer));
+
+  ResourceCommitter committer(*farm_, *transport_);
+  auto committed = committer.commit(client, outcome.offers.offers[0]);
+  if (!committed.ok()) {
+    outcome.status = NegotiationStatus::kFailedTryLater;
+    outcome.problems.push_back(committed.error());
+    return outcome;
+  }
+  outcome.committed_index = 0;
+  outcome.commitment = std::move(committed.value());
+  const SystemOffer& final_offer = outcome.offers.offers[0];
+  outcome.user_offer = derive_user_offer(final_offer);
+  outcome.status = satisfies_user(final_offer, profile.mm) ? NegotiationStatus::kSucceeded
+                                                           : NegotiationStatus::kFailedWithOffer;
+  return outcome;
+}
+
+}  // namespace qosnp

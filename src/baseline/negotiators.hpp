@@ -1,0 +1,112 @@
+// Baseline negotiators the smart procedure is evaluated against (E7/E10).
+// The paper positions its contribution against "basic negotiation provided
+// by the existing QoS architectures", whose mechanisms "are restricted to
+// the evaluation of the capacity of certain system components a priori
+// known to support a specific QoS", and argues (Sec. 5) that classifying
+// offers by cost alone or QoS alone is "neither optimal nor suitable".
+// Each of those three alternatives is implemented behind one interface:
+//
+//   * BasicNegotiator   — static negotiation: for each monomedia pick, a
+//     priori, the variant that satisfies the desired QoS (no alternatives
+//     considered); evaluate only whether those components have capacity;
+//     reject otherwise. No classification, no fallback ladder.
+//   * CostOnlyNegotiator — classify all feasible offers by cost (cheapest
+//     first), ignore SNS/OIF.
+//   * QoSOnlyNegotiator  — classify by QoS importance (best first), ignore
+//     cost.
+//   * SmartNegotiator    — the paper's procedure (wraps QoSManager).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/qos_manager.hpp"
+
+namespace qosnp {
+
+class Negotiator {
+ public:
+  virtual ~Negotiator() = default;
+  virtual std::string_view name() const = 0;
+  virtual NegotiationOutcome negotiate(const ClientMachine& client, const DocumentId& document,
+                                       const UserProfile& profile) = 0;
+};
+
+/// The paper's procedure.
+class SmartNegotiator final : public Negotiator {
+ public:
+  SmartNegotiator(Catalog& catalog, ServerFarm& farm, TransportProvider& transport,
+                  CostModel cost_model = {}, NegotiationConfig config = {})
+      : manager_(catalog, farm, transport, std::move(cost_model), std::move(config)) {}
+
+  std::string_view name() const override { return "smart"; }
+  NegotiationOutcome negotiate(const ClientMachine& client, const DocumentId& document,
+                               const UserProfile& profile) override {
+    return manager_.negotiate(client, document, profile);
+  }
+  QoSManager& manager() { return manager_; }
+
+ private:
+  QoSManager manager_;
+};
+
+/// Shared plumbing of the non-smart baselines.
+class EnumeratingNegotiator : public Negotiator {
+ public:
+  EnumeratingNegotiator(Catalog& catalog, ServerFarm& farm, TransportProvider& transport,
+                        CostModel cost_model, EnumerationConfig enumeration = {})
+      : catalog_(&catalog), farm_(&farm), transport_(&transport),
+        cost_model_(std::move(cost_model)), enumeration_(enumeration) {}
+
+  NegotiationOutcome negotiate(const ClientMachine& client, const DocumentId& document,
+                               const UserProfile& profile) override;
+
+ protected:
+  /// Order the enumerated offers; the first committable one wins.
+  virtual void order_offers(std::vector<SystemOffer>& offers, const UserProfile& profile) = 0;
+
+  Catalog* catalog_;
+  ServerFarm* farm_;
+  TransportProvider* transport_;
+  CostModel cost_model_;
+  EnumerationConfig enumeration_;
+};
+
+class CostOnlyNegotiator final : public EnumeratingNegotiator {
+ public:
+  using EnumeratingNegotiator::EnumeratingNegotiator;
+  std::string_view name() const override { return "cost-only"; }
+
+ protected:
+  void order_offers(std::vector<SystemOffer>& offers, const UserProfile& profile) override;
+};
+
+class QoSOnlyNegotiator final : public EnumeratingNegotiator {
+ public:
+  using EnumeratingNegotiator::EnumeratingNegotiator;
+  std::string_view name() const override { return "qos-only"; }
+
+ protected:
+  void order_offers(std::vector<SystemOffer>& offers, const UserProfile& profile) override;
+};
+
+/// Static first-fit negotiation without alternatives.
+class BasicNegotiator final : public Negotiator {
+ public:
+  BasicNegotiator(Catalog& catalog, ServerFarm& farm, TransportProvider& transport,
+                  CostModel cost_model = {})
+      : catalog_(&catalog), farm_(&farm), transport_(&transport),
+        cost_model_(std::move(cost_model)) {}
+
+  std::string_view name() const override { return "basic"; }
+  NegotiationOutcome negotiate(const ClientMachine& client, const DocumentId& document,
+                               const UserProfile& profile) override;
+
+ private:
+  Catalog* catalog_;
+  ServerFarm* farm_;
+  TransportProvider* transport_;
+  CostModel cost_model_;
+};
+
+}  // namespace qosnp

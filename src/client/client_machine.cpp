@@ -1,0 +1,86 @@
+#include "client/client_machine.hpp"
+
+#include <sstream>
+
+namespace qosnp {
+
+namespace {
+
+template <typename Q>
+Q clip_to(const Q& wanted, const Q& best);
+
+template <>
+VideoQoS clip_to<VideoQoS>(const VideoQoS& wanted, const VideoQoS& best) {
+  VideoQoS out = wanted;
+  out.color = std::min(out.color, best.color);
+  out.frame_rate_fps = std::min(out.frame_rate_fps, best.frame_rate_fps);
+  out.resolution = std::min(out.resolution, best.resolution);
+  return out;
+}
+
+template <>
+AudioQoS clip_to<AudioQoS>(const AudioQoS& wanted, const AudioQoS& best) {
+  AudioQoS out = wanted;
+  out.quality = std::min(out.quality, best.quality);
+  return out;
+}
+
+template <>
+ImageQoS clip_to<ImageQoS>(const ImageQoS& wanted, const ImageQoS& best) {
+  ImageQoS out = wanted;
+  out.color = std::min(out.color, best.color);
+  out.resolution = std::min(out.resolution, best.resolution);
+  return out;
+}
+
+}  // namespace
+
+LocalCheck local_negotiation(const ClientMachine& machine, const MMProfile& requested) {
+  LocalCheck check;
+  check.local_offer = requested;
+
+  if (requested.video) {
+    const VideoQoS best = machine.best_video();
+    // The request fails locally only when even the worst-acceptable values
+    // exceed the hardware; a desired value above the hardware is clipped
+    // into the local offer.
+    if (!machine.supports(requested.video->worst)) {
+      check.ok = false;
+      std::ostringstream os;
+      os << "client screen cannot render the worst-acceptable video "
+         << requested.video->worst.to_string() << "; best is " << best.to_string();
+      check.problems.push_back(os.str());
+    }
+    check.local_offer.video->desired = clip_to(requested.video->desired, best);
+    check.local_offer.video->worst = clip_to(requested.video->worst, best);
+  }
+  if (requested.audio) {
+    const AudioQoS best = machine.best_audio();
+    if (!machine.supports(requested.audio->worst)) {
+      check.ok = false;
+      std::ostringstream os;
+      os << "client audio device cannot render the worst-acceptable audio "
+         << requested.audio->worst.to_string();
+      if (machine.has_audio_out) os << "; best is " << best.to_string();
+      check.problems.push_back(os.str());
+    }
+    check.local_offer.audio->desired = clip_to(requested.audio->desired, best);
+    check.local_offer.audio->worst = clip_to(requested.audio->worst, best);
+  }
+  if (requested.image) {
+    const ImageQoS best = machine.best_image();
+    if (!machine.supports(requested.image->worst)) {
+      check.ok = false;
+      std::ostringstream os;
+      os << "client screen cannot render the worst-acceptable image "
+         << requested.image->worst.to_string() << "; best is " << best.to_string();
+      check.problems.push_back(os.str());
+    }
+    check.local_offer.image->desired = clip_to(requested.image->desired, best);
+    check.local_offer.image->worst = clip_to(requested.image->worst, best);
+  }
+  // Text rendering needs no hardware capability beyond a screen.
+  return check;
+}
+
+}  // namespace qosnp

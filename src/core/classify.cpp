@@ -1,0 +1,130 @@
+#include "core/classify.hpp"
+
+#include <algorithm>
+
+namespace qosnp {
+
+namespace {
+
+struct QosSatisfaction {
+  bool all_desired = true;
+  bool all_worst = true;
+};
+
+QosSatisfaction qos_satisfaction(const SystemOffer& offer, const MMProfile& profile) {
+  QosSatisfaction s;
+  for (const OfferComponent& c : offer.components) {
+    std::visit(
+        [&](const auto& q) {
+          using T = std::decay_t<decltype(q)>;
+          if constexpr (std::is_same_v<T, VideoQoS>) {
+            if (profile.video) {
+              if (!profile.video->satisfied_by(q)) s.all_desired = false;
+              if (!profile.video->tolerates(q)) s.all_worst = false;
+            }
+          } else if constexpr (std::is_same_v<T, AudioQoS>) {
+            if (profile.audio) {
+              if (!profile.audio->satisfied_by(q)) s.all_desired = false;
+              if (!profile.audio->tolerates(q)) s.all_worst = false;
+            }
+          } else if constexpr (std::is_same_v<T, TextQoS>) {
+            if (profile.text) {
+              if (!profile.text->satisfied_by(q)) s.all_desired = false;
+              if (!profile.text->tolerates(q)) s.all_worst = false;
+            }
+          } else {
+            if (profile.image) {
+              if (!profile.image->satisfied_by(q)) s.all_desired = false;
+              if (!profile.image->tolerates(q)) s.all_worst = false;
+            }
+          }
+        },
+        c.variant->qos);
+  }
+  return s;
+}
+
+}  // namespace
+
+bool qos_matters(const MMProfile& profile, const ImportanceProfile& importance) {
+  double total = 0.0;
+  if (profile.video) {
+    total += importance.qos_importance(MonomediaQoS{profile.video->desired});
+  }
+  if (profile.audio) {
+    total += importance.qos_importance(MonomediaQoS{profile.audio->desired});
+  }
+  if (profile.text) {
+    total += importance.qos_importance(MonomediaQoS{TextQoS{profile.text->desired}});
+  }
+  if (profile.image) {
+    total += importance.qos_importance(MonomediaQoS{profile.image->desired});
+  }
+  return total > 0.0;
+}
+
+Sns compute_sns(const SystemOffer& offer, const MMProfile& profile,
+                const ImportanceProfile& importance, ClassificationPolicy policy) {
+  const bool cost_within = offer.total_cost() <= profile.cost.max_cost;
+
+  if (policy.sns_rule == ClassificationPolicy::SnsRule::kImportanceWeighted) {
+    const bool cost_cares = importance.cost_per_dollar > 0.0;
+    if (cost_cares && !qos_matters(profile, importance)) {
+      // The user cares only about cost: grade on the cost constraint alone.
+      return cost_within ? Sns::kDesirable : Sns::kConstraint;
+    }
+  }
+
+  const QosSatisfaction s = qos_satisfaction(offer, profile);
+  if (!s.all_worst) return Sns::kConstraint;
+  if (s.all_desired && cost_within) return Sns::kDesirable;
+  return Sns::kAcceptable;
+}
+
+double compute_oif(const SystemOffer& offer, const ImportanceProfile& importance) {
+  double qos_sum = 0.0;
+  for (const OfferComponent& c : offer.components) {
+    qos_sum += importance.qos_importance(c.variant->qos);
+    if (importance.server_bonus != 0.0 && importance.prefers_server(c.variant->server)) {
+      qos_sum += importance.server_bonus;
+    }
+  }
+  return qos_sum - importance.cost_importance(offer.total_cost());
+}
+
+bool satisfies_user(const SystemOffer& offer, const MMProfile& profile) {
+  const QosSatisfaction s = qos_satisfaction(offer, profile);
+  return s.all_worst && offer.total_cost() <= profile.cost.max_cost;
+}
+
+void classify_offers(std::vector<SystemOffer>& offers, const MMProfile& profile,
+                     const ImportanceProfile& importance, ClassificationPolicy policy,
+                     ThreadPool* pool) {
+  auto score_one = [&](std::size_t i) {
+    offers[i].sns = compute_sns(offers[i], profile, importance, policy);
+    offers[i].oif = compute_oif(offers[i], importance);
+  };
+  if (pool != nullptr) {
+    parallel_for(*pool, 0, offers.size(), score_one);
+  } else {
+    for (std::size_t i = 0; i < offers.size(); ++i) score_one(i);
+  }
+
+  auto variant_ids_less = [](const SystemOffer& a, const SystemOffer& b) {
+    const std::size_t n = std::min(a.components.size(), b.components.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& va = a.components[i].variant->id;
+      const auto& vb = b.components[i].variant->id;
+      if (va != vb) return va < vb;
+    }
+    return a.components.size() < b.components.size();
+  };
+  std::sort(offers.begin(), offers.end(), [&](const SystemOffer& a, const SystemOffer& b) {
+    if (!policy.oif_only && a.sns != b.sns) return a.sns < b.sns;
+    if (a.oif != b.oif) return a.oif > b.oif;
+    if (a.total_cost() != b.total_cost()) return a.total_cost() < b.total_cost();
+    return variant_ids_less(a, b);
+  });
+}
+
+}  // namespace qosnp

@@ -1,0 +1,55 @@
+#include "core/commit.hpp"
+
+#include "util/log.hpp"
+
+namespace qosnp {
+
+std::vector<FlowId> Commitment::flow_ids() const {
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const ScopedFlow& f : flows_) ids.push_back(f.id());
+  return ids;
+}
+
+std::vector<std::pair<const MediaServer*, StreamId>> Commitment::stream_ids() const {
+  std::vector<std::pair<const MediaServer*, StreamId>> ids;
+  ids.reserve(streams_.size());
+  for (const ScopedStream& s : streams_) ids.push_back({s.server(), s.id()});
+  return ids;
+}
+
+void Commitment::release() {
+  // Release flows before streams: tear the network path down before the
+  // disk stream feeding it.
+  flows_.clear();
+  streams_.clear();
+}
+
+Result<Commitment> ResourceCommitter::commit(const ClientMachine& client,
+                                             const SystemOffer& offer) {
+  Commitment commitment;
+  for (const OfferComponent& c : offer.components) {
+    MediaServer* server = farm_->find(c.variant->server);
+    if (server == nullptr) {
+      return Err("variant '" + c.variant->id + "' lives on unknown server '" +
+                 c.variant->server + "'");
+    }
+    auto stream = server->admit(c.requirements);
+    if (!stream.ok()) {
+      // RAII: commitment's handles release everything reserved so far.
+      return Err(stream.error());
+    }
+    commitment.streams_.emplace_back(server, stream.value());
+
+    auto flow = transport_->reserve(server->node(), client.node, c.requirements);
+    if (!flow.ok()) {
+      return Err(flow.error());
+    }
+    commitment.flows_.emplace_back(transport_, flow.value());
+  }
+  QOSNP_LOG_DEBUG("commit", "committed offer with ", commitment.stream_count(), " streams / ",
+                  commitment.flow_count(), " flows for client ", client.name);
+  return commitment;
+}
+
+}  // namespace qosnp

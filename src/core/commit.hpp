@@ -1,0 +1,60 @@
+// Resource commitment (paper Step 5): given a system offer, reserve the
+// resources supporting it — a disk-bandwidth stream on the server storing
+// each chosen variant plus a network flow from that server to the client —
+// atomically: if any reservation is refused, everything already reserved
+// for the offer is rolled back (RAII handles unwind automatically).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "client/client_machine.hpp"
+#include "core/offer.hpp"
+#include "net/transport.hpp"
+#include "server/media_server.hpp"
+#include "util/result.hpp"
+
+namespace qosnp {
+
+/// The reservations backing one committed system offer. Move-only RAII:
+/// destroying a Commitment releases every reservation (this is also what
+/// implements Step 6's "resources reserved for the system offer are
+/// de-allocated" on rejection/timeout).
+class Commitment {
+ public:
+  Commitment() = default;
+  Commitment(Commitment&&) = default;
+  Commitment& operator=(Commitment&&) = default;
+
+  bool empty() const { return streams_.empty() && flows_.empty(); }
+  std::size_t stream_count() const { return streams_.size(); }
+  std::size_t flow_count() const { return flows_.size(); }
+
+  /// Flow ids held (the violation signal from the transport names flows).
+  std::vector<FlowId> flow_ids() const;
+  /// (server, stream) pairs held.
+  std::vector<std::pair<const MediaServer*, StreamId>> stream_ids() const;
+
+  /// Release everything now.
+  void release();
+
+ private:
+  friend class ResourceCommitter;
+  std::vector<ScopedStream> streams_;
+  std::vector<ScopedFlow> flows_;
+};
+
+class ResourceCommitter {
+ public:
+  ResourceCommitter(ServerFarm& farm, TransportProvider& transport)
+      : farm_(&farm), transport_(&transport) {}
+
+  /// Try to reserve all resources of `offer` for delivery to `client`.
+  Result<Commitment> commit(const ClientMachine& client, const SystemOffer& offer);
+
+ private:
+  ServerFarm* farm_;
+  TransportProvider* transport_;
+};
+
+}  // namespace qosnp

@@ -1,0 +1,152 @@
+#include "core/enumerate.hpp"
+
+#include <algorithm>
+
+#include "qosmap/mapping.hpp"
+#include "util/log.hpp"
+
+namespace qosnp {
+
+std::size_t FeasibleSet::combination_count() const {
+  if (variants.empty()) return 0;
+  std::size_t count = 1;
+  for (const auto& vs : variants) {
+    if (vs.empty()) return 0;
+    // Saturate rather than overflow for absurdly rich documents.
+    if (count > (SIZE_MAX / vs.size())) return SIZE_MAX;
+    count *= vs.size();
+  }
+  return count;
+}
+
+Result<FeasibleSet> compatible_variants(std::shared_ptr<const MultimediaDocument> document,
+                                        const ClientMachine& client, const MMProfile& profile) {
+  if (!document) return Err(std::string("no document"));
+  FeasibleSet feasible;
+  feasible.document = document;
+  for (const Monomedia& m : document->monomedia) {
+    if (!profile.wants(m.kind)) continue;
+    std::vector<const Variant*> usable;
+    for (const Variant& v : m.variants) {
+      if (client.can_decode(v.format)) usable.push_back(&v);
+    }
+    if (usable.empty()) {
+      return Err("no variant of monomedia '" + m.id +
+                 "' is decodable by client '" + client.name + "'");
+    }
+    feasible.monomedia.push_back(&m);
+    feasible.variants.push_back(std::move(usable));
+  }
+  if (feasible.monomedia.empty()) {
+    return Err("document '" + document->id + "' offers none of the requested media");
+  }
+  return feasible;
+}
+
+bool qos_dominates(const MonomediaQoS& a, const MonomediaQoS& b) {
+  if (media_kind_of(a) != media_kind_of(b)) return false;
+  return std::visit(
+      [&b](const auto& qa) -> bool {
+        using T = std::decay_t<decltype(qa)>;
+        const T& qb = std::get<T>(b);
+        if constexpr (std::is_same_v<T, TextQoS>) {
+          return qa.language == qb.language;
+        } else {
+          return qa.meets(qb);
+        }
+      },
+      a);
+}
+
+std::size_t prune_dominated_variants(FeasibleSet& feasible) {
+  std::size_t dropped = 0;
+  auto rate_at_most = [](const Variant& a, const Variant& b) {
+    return static_cast<double>(a.avg_block_bytes) * a.blocks_per_second <=
+               static_cast<double>(b.avg_block_bytes) * b.blocks_per_second &&
+           static_cast<double>(a.max_block_bytes) * a.blocks_per_second <=
+               static_cast<double>(b.max_block_bytes) * b.blocks_per_second &&
+           a.file_bytes <= b.file_bytes;
+  };
+  for (auto& variants : feasible.variants) {
+    std::vector<const Variant*> kept;
+    kept.reserve(variants.size());
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      const Variant* candidate = variants[i];
+      bool dominated = false;
+      for (std::size_t j = 0; j < variants.size() && !dominated; ++j) {
+        if (i == j) continue;
+        const Variant* other = variants[j];
+        if (other->server != candidate->server) continue;
+        if (!qos_dominates(other->qos, candidate->qos)) continue;
+        if (!rate_at_most(*other, *candidate)) continue;
+        // Fully tied pairs (replica-like on the same server): keep the one
+        // with the smaller index to avoid dropping both.
+        if (qos_dominates(candidate->qos, other->qos) && rate_at_most(*candidate, *other) &&
+            j > i) {
+          continue;
+        }
+        dominated = true;
+      }
+      if (dominated) {
+        ++dropped;
+      } else {
+        kept.push_back(candidate);
+      }
+    }
+    variants = std::move(kept);
+  }
+  return dropped;
+}
+
+OfferList enumerate_offers(const FeasibleSet& feasible, const MMProfile& profile,
+                           const CostModel& cost_model, EnumerationConfig config) {
+  OfferList list;
+  list.document = feasible.document;
+  list.total_combinations = feasible.combination_count();
+  if (list.total_combinations == 0) return list;
+
+  const std::size_t n = feasible.monomedia.size();
+  const std::size_t emit = std::min(list.total_combinations, config.max_offers);
+  list.truncated = emit < list.total_combinations;
+  if (list.truncated) {
+    QOSNP_LOG_WARN("enumerate", "offer space of ", list.total_combinations,
+                   " combinations truncated to ", emit);
+  }
+  list.offers.reserve(emit);
+
+  // Pre-map every variant's stream requirements once (combinations only
+  // re-combine them).
+  std::vector<std::vector<StreamRequirements>> mapped(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mapped[i].reserve(feasible.variants[i].size());
+    for (const Variant* v : feasible.variants[i]) {
+      mapped[i].push_back(map_variant(*v, feasible.monomedia[i]->duration_s, profile.time));
+    }
+  }
+
+  std::vector<std::size_t> index(n, 0);
+  std::vector<StreamRequirements> stream_scratch(n);
+  for (std::size_t emitted = 0; emitted < emit; ++emitted) {
+    SystemOffer offer;
+    offer.components.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      OfferComponent c;
+      c.monomedia = feasible.monomedia[i];
+      c.variant = feasible.variants[i][index[i]];
+      c.requirements = mapped[i][index[i]];
+      stream_scratch[i] = c.requirements;
+      offer.components.push_back(c);
+    }
+    offer.cost = cost_model.document_cost(feasible.document->copyright_cost, stream_scratch);
+    list.offers.push_back(std::move(offer));
+
+    // Mixed-radix increment.
+    for (std::size_t i = n; i-- > 0;) {
+      if (++index[i] < feasible.variants[i].size()) break;
+      index[i] = 0;
+    }
+  }
+  return list;
+}
+
+}  // namespace qosnp

@@ -1,0 +1,69 @@
+// Feasible-offer enumeration (paper Steps 2-3 input): for each monomedia of
+// the requested document, keep the variants whose coding format the client
+// machine can decode (static compatibility checking); a system offer is one
+// variant per monomedia, so the offer space is the cartesian product of the
+// per-monomedia feasible sets. The paper notes "many offers may be produced
+// for a given request" — the enumerator caps the expansion and reports the
+// truncation explicitly (never silently).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "client/client_machine.hpp"
+#include "core/offer.hpp"
+#include "cost/cost_model.hpp"
+#include "document/model.hpp"
+#include "profile/profiles.hpp"
+
+namespace qosnp {
+
+struct EnumerationConfig {
+  /// Hard cap on enumerated combinations; the excess is dropped (flagged in
+  /// OfferList::truncated).
+  std::size_t max_offers = 20'000;
+  /// Drop variants dominated by a same-server sibling (better-or-equal QoS
+  /// at lower-or-equal block rates): such variants can never appear in a
+  /// better offer, so pruning them shrinks the cartesian product without
+  /// changing the negotiation result. Off by default because the unpruned
+  /// ladder is what the paper's adaptation procedure falls back onto.
+  bool prune_dominated = false;
+};
+
+/// Per-monomedia feasible variants after Step 2.
+struct FeasibleSet {
+  std::shared_ptr<const MultimediaDocument> document;
+  std::vector<const Monomedia*> monomedia;  ///< only media the profile requests
+  std::vector<std::vector<const Variant*>> variants;  ///< parallel to monomedia
+
+  /// Cartesian-product size.
+  std::size_t combination_count() const;
+};
+
+/// Step 2: filter variants by client decoder compatibility. Monomedia whose
+/// kind the profile does not request are skipped entirely (the user did not
+/// ask for them). The error carries the first monomedia left with no
+/// feasible variant (-> FAILEDWITHOUTOFFER).
+Result<FeasibleSet> compatible_variants(std::shared_ptr<const MultimediaDocument> document,
+                                        const ClientMachine& client, const MMProfile& profile);
+
+/// True when `a` renders at least `b`'s quality (per-medium `meets`).
+/// Cross-media comparisons are false.
+bool qos_dominates(const MonomediaQoS& a, const MonomediaQoS& b);
+
+/// Remove same-server dominated variants from every feasible set; returns
+/// how many variants were dropped. A variant is dominated when another
+/// variant on the same server has dominating QoS and delivery rates (avg,
+/// max, file size) at most as large — it could only ever produce offers that
+/// are worse in quality and at least as expensive. Variants on other servers
+/// are kept regardless (they matter to adaptation and load spreading).
+std::size_t prune_dominated_variants(FeasibleSet& feasible);
+
+/// Build the system offers of a feasible set: map every variant to its
+/// stream requirements (Sec. 6) and price every combination (Sec. 7).
+/// sns/oif are left for classify_offers.
+OfferList enumerate_offers(const FeasibleSet& feasible, const MMProfile& profile,
+                           const CostModel& cost_model, EnumerationConfig config = {});
+
+}  // namespace qosnp

@@ -1,0 +1,84 @@
+// System offers and user offers (paper Definitions 1 and 2).
+//   Definition 1: a system offer is a set of variants (one per monomedia
+//   component of the document) plus the cost the user should pay.
+//   Definition 2: a user offer is the QoS the system can provide and the
+//   cost, expressed in user-perceived terms (an MM profile instance).
+// A user offer is derived from a system offer by the mapping functions.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "document/model.hpp"
+#include "media/qos.hpp"
+#include "qosmap/mapping.hpp"
+#include "util/money.hpp"
+
+namespace qosnp {
+
+/// Static negotiation status (paper Sec. 5.2.1): how well an offer's QoS
+/// satisfies the user profile. Lower enum value = better grade; the SNS is
+/// the *primary* classification key.
+enum class Sns : int { kDesirable = 0, kAcceptable = 1, kConstraint = 2 };
+
+std::string_view to_string(Sns sns);
+
+/// The five negotiation statuses of paper Sec. 4.
+enum class NegotiationStatus {
+  kSucceeded,
+  kFailedWithOffer,
+  kFailedTryLater,
+  kFailedWithoutOffer,
+  kFailedWithLocalOffer,
+};
+
+std::string_view to_string(NegotiationStatus status);
+
+/// One variant chosen for one monomedia, with its mapped system QoS.
+struct OfferComponent {
+  const Monomedia* monomedia = nullptr;
+  const Variant* variant = nullptr;
+  StreamRequirements requirements;
+};
+
+/// Definition 1. Classification parameters (sns, oif) are filled by Step 3.
+struct SystemOffer {
+  std::vector<OfferComponent> components;
+  CostBreakdown cost;  ///< total includes the document copyright
+  Sns sns = Sns::kConstraint;
+  double oif = 0.0;
+
+  Money total_cost() const { return cost.total; }
+  std::string describe() const;
+};
+
+/// The enumerated offer space for one request. Owns the document reference
+/// the component pointers index into (the catalog may drop the document
+/// while a negotiation over it is in flight).
+struct OfferList {
+  std::shared_ptr<const MultimediaDocument> document;
+  std::vector<SystemOffer> offers;  ///< classified best-to-worst after Step 4
+  std::size_t total_combinations = 0;
+  bool truncated = false;  ///< the enumeration cap dropped combinations
+};
+
+/// Definition 2.
+struct UserOffer {
+  std::optional<VideoQoS> video;
+  std::optional<AudioQoS> audio;
+  std::optional<TextQoS> text;
+  std::optional<ImageQoS> image;
+  Money cost;
+
+  std::string describe() const;
+};
+
+/// Map a system offer into user-perceived terms. With several monomedia of
+/// the same kind the weakest chosen quality is reported (the honest figure
+/// to show the user).
+UserOffer derive_user_offer(const SystemOffer& offer);
+
+}  // namespace qosnp

@@ -1,0 +1,58 @@
+// The worked examples of paper Sec. 5, packaged as ready-made fixtures so
+// that the unit tests and the E1-E3 benches reproduce the published numbers
+// from one definition.
+//
+// Classification example (Sec. 5.2.1 / 5.2.2): the user requests a news
+// article with (colour, TV resolution, 25 frames/s) as desired *and* worst
+// acceptable QoS and $4 maximum cost; the QoS manager finds:
+//   offer1: (black&white, TV resolution, 25 frames/s) at $2.50
+//   offer2: (colour,      TV resolution, 15 frames/s) at $4.00
+//   offer3: (grey,        TV resolution, 25 frames/s) at $3.00
+//   offer4: (colour,      TV resolution, 25 frames/s) at $5.00
+// Expected SNS: offers 1-3 CONSTRAINT, offer4 ACCEPTABLE.
+// Expected classifications per importance setting:
+//   (1) colour 9 / grey 6 / b&w 2 / TV-res 9 / 25fps 9 / 15fps 5, cost 4:
+//       OIF = 10, 7, 12, 7      -> offer4, offer3, offer1, offer2
+//   (2) same QoS importances, cost 0:
+//       OIF = 20, 23, 24, 27    -> offer4, offer3, offer2, offer1
+//   (3) all QoS importances 0, cost 4:
+//       OIF = -10, -16, -12, -20 -> offer1, offer3, offer2, offer4
+//
+// Motivating example (Sec. 5.1): desired=(colour, 25 fps, TV resolution) at
+// a $6 maximum; offers (colour,15fps,TV)@$5, (grey,25fps,TV)@$4,
+// (colour,25fps,TV)@$6.
+#pragma once
+
+#include <memory>
+
+#include "core/offer.hpp"
+#include "profile/profiles.hpp"
+
+namespace qosnp::paper {
+
+struct ClassificationExample {
+  std::shared_ptr<const MultimediaDocument> document;
+  OfferList offers;     ///< offers[0..3] = paper's offer1..offer4 (pre-classification order)
+  UserProfile profile;  ///< Sec. 5.2.1 request
+};
+
+/// Build the Sec. 5.2.1 fixture. Offer costs are pinned to the paper's
+/// dollar figures.
+ClassificationExample classification_example();
+
+/// The importance factors of Sec. 5.2.2, settings 1-3.
+ImportanceProfile importance_setting(int which);
+
+/// Paper name ("offer1".."offer4") of a system offer of the fixture.
+std::string offer_name(const SystemOffer& offer);
+
+struct MotivatingExample {
+  std::shared_ptr<const MultimediaDocument> document;
+  OfferList offers;  ///< the three offers of Sec. 5.1
+  UserProfile profile;
+};
+
+/// Build the Sec. 5.1 fixture.
+MotivatingExample motivating_example();
+
+}  // namespace qosnp::paper

@@ -1,0 +1,137 @@
+#include "core/qos_manager.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qosnp {
+
+QoSManager::QoSManager(Catalog& catalog, ServerFarm& farm, TransportProvider& transport,
+                       CostModel cost_model, NegotiationConfig config)
+    : catalog_(&catalog), farm_(&farm), transport_(&transport),
+      cost_model_(std::move(cost_model)), config_(std::move(config)) {}
+
+UserOffer local_offer_from(const MMProfile& clipped) {
+  UserOffer offer;
+  if (clipped.video) offer.video = clipped.video->desired;
+  if (clipped.audio) offer.audio = clipped.audio->desired;
+  if (clipped.text) offer.text = TextQoS{clipped.text->desired};
+  if (clipped.image) offer.image = clipped.image->desired;
+  offer.cost = Money{};
+  return offer;
+}
+
+CommitAttempt QoSManager::commit_first(const ClientMachine& client, const OfferList& offers,
+                                       const MMProfile& profile,
+                                       std::span<const std::size_t> exclude) {
+  CommitAttempt attempt;
+  ResourceCommitter committer(*farm_, *transport_);
+  auto excluded = [&](std::size_t i) {
+    return std::find(exclude.begin(), exclude.end(), i) != exclude.end();
+  };
+  // Pass 1: offers satisfying the requested QoS/cost; pass 2: the rest
+  // ("If there are not enough resources to support any of the acceptable
+  // system offers, the same procedure is applied on the feasible (not
+  // acceptable) system offers").
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < offers.offers.size(); ++i) {
+      if (excluded(i)) continue;
+      const SystemOffer& offer = offers.offers[i];
+      const bool satisfying = satisfies_user(offer, profile);
+      if ((pass == 0) != satisfying) continue;
+      auto committed = committer.commit(client, offer);
+      if (committed.ok()) {
+        attempt.index = i;
+        attempt.commitment = std::move(committed.value());
+        return attempt;
+      }
+      attempt.errors.push_back("offer " + std::to_string(i) + ": " + committed.error());
+    }
+  }
+  return attempt;
+}
+
+NegotiationOutcome QoSManager::negotiate(const ClientMachine& client,
+                                         const DocumentId& document_id,
+                                         const UserProfile& profile) {
+  auto document = catalog_->find(document_id);
+  if (!document) {
+    NegotiationOutcome outcome;
+    outcome.status = NegotiationStatus::kFailedWithoutOffer;
+    outcome.problems.push_back("document '" + document_id + "' not found in the catalog");
+    return outcome;
+  }
+  return negotiate_document(client, std::move(document), profile);
+}
+
+NegotiationOutcome QoSManager::negotiate_document(
+    const ClientMachine& client, std::shared_ptr<const MultimediaDocument> document,
+    const UserProfile& profile) {
+  NegotiationOutcome outcome;
+  if (!document) {
+    outcome.status = NegotiationStatus::kFailedWithoutOffer;
+    outcome.problems.push_back("no document");
+    return outcome;
+  }
+
+  // Step 1: static local negotiation.
+  const LocalCheck local = local_negotiation(client, profile.mm);
+  if (!local.ok) {
+    outcome.status = NegotiationStatus::kFailedWithLocalOffer;
+    outcome.problems = local.problems;
+    outcome.user_offer = local_offer_from(local.local_offer);
+    return outcome;
+  }
+
+  // Step 2: static compatibility checking.
+  auto feasible = compatible_variants(document, client, profile.mm);
+  if (!feasible.ok()) {
+    outcome.status = NegotiationStatus::kFailedWithoutOffer;
+    outcome.problems.push_back(feasible.error());
+    return outcome;
+  }
+
+  // Build the offer space; Steps 3+4: classify.
+  if (config_.enumeration.prune_dominated) {
+    const std::size_t dropped = prune_dominated_variants(feasible.value());
+    if (dropped > 0) {
+      QOSNP_LOG_DEBUG("negotiate", "pruned ", dropped, " dominated variants");
+    }
+  }
+  outcome.offers =
+      enumerate_offers(feasible.value(), profile.mm, cost_model_, config_.enumeration);
+  if (outcome.offers.truncated) {
+    outcome.problems.push_back(
+        "offer space truncated to " + std::to_string(outcome.offers.offers.size()) + " of " +
+        std::to_string(outcome.offers.total_combinations) + " combinations");
+  }
+  ThreadPool* pool = nullptr;
+  if (config_.parallel_threshold > 0 &&
+      outcome.offers.offers.size() >= config_.parallel_threshold) {
+    pool = &ThreadPool::shared();
+  }
+  classify_offers(outcome.offers.offers, profile.mm, profile.importance, config_.policy, pool);
+
+  // Step 5: resource commitment.
+  CommitAttempt attempt = commit_first(client, outcome.offers, profile.mm);
+  if (!attempt.ok()) {
+    outcome.status = NegotiationStatus::kFailedTryLater;
+    outcome.problems.insert(outcome.problems.end(), attempt.errors.begin(),
+                            attempt.errors.end());
+    return outcome;
+  }
+  outcome.committed_index = attempt.index;
+  outcome.commitment = std::move(attempt.commitment);
+  const SystemOffer& committed = outcome.offers.offers[attempt.index];
+  outcome.user_offer = derive_user_offer(committed);
+  outcome.status = satisfies_user(committed, profile.mm)
+                       ? NegotiationStatus::kSucceeded
+                       : NegotiationStatus::kFailedWithOffer;
+  QOSNP_LOG_INFO("negotiate", "document '", document->id, "' for ", client.name, ": ",
+                 to_string(outcome.status), " (offer ", attempt.index, " of ",
+                 outcome.offers.offers.size(), ")");
+  return outcome;
+}
+
+}  // namespace qosnp

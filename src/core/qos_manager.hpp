@@ -1,0 +1,106 @@
+// The QoS manager (paper Sec. 4): the component implementing QoS
+// negotiation and adaptation. negotiate() runs the procedure's steps:
+//   1. static local negotiation        -> FAILEDWITHLOCALOFFER
+//   2. static compatibility checking   -> FAILEDWITHOUTOFFER
+//   3. computation of classification parameters (SNS, OIF)
+//   4. classification of system offers (best to worst)
+//   5. resource commitment             -> SUCCEEDED / FAILEDWITHOFFER /
+//                                         FAILEDTRYLATER
+// Step 6 (user confirmation within choicePeriod) and the adaptation
+// procedure live in the session module, which consumes the ordered offer
+// list this manager produces — the paper keeps all feasible offers around
+// precisely so adaptation can fall back to them.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "client/client_machine.hpp"
+#include "core/classify.hpp"
+#include "core/commit.hpp"
+#include "core/enumerate.hpp"
+#include "core/offer.hpp"
+#include "cost/cost_model.hpp"
+#include "document/catalog.hpp"
+#include "profile/profiles.hpp"
+
+namespace qosnp {
+
+struct NegotiationConfig {
+  EnumerationConfig enumeration;
+  ClassificationPolicy policy;
+  /// Classify offers on the shared thread pool when the list is at least
+  /// this large (0 disables parallel classification).
+  std::size_t parallel_threshold = 512;
+};
+
+/// Everything a negotiation produces. The negotiation results of the paper
+/// are (status, user offer); the ordered offer list and the commitment are
+/// carried along for Step 6 and for the adaptation procedure.
+struct NegotiationOutcome {
+  NegotiationStatus status = NegotiationStatus::kFailedTryLater;
+  std::optional<UserOffer> user_offer;
+  std::vector<std::string> problems;
+
+  OfferList offers;  ///< classified best-to-worst; kept for adaptation
+  std::size_t committed_index = SIZE_MAX;
+  Commitment commitment;
+
+  bool has_commitment() const { return committed_index != SIZE_MAX; }
+};
+
+/// Result of walking the ordered offers and committing the first that fits.
+struct CommitAttempt {
+  std::size_t index = SIZE_MAX;
+  Commitment commitment;
+  std::vector<std::string> errors;
+
+  bool ok() const { return index != SIZE_MAX; }
+};
+
+class QoSManager {
+ public:
+  QoSManager(Catalog& catalog, ServerFarm& farm, TransportProvider& transport,
+             CostModel cost_model = {}, NegotiationConfig config = {});
+
+  /// Run the negotiation procedure for one user request.
+  NegotiationOutcome negotiate(const ClientMachine& client, const DocumentId& document,
+                               const UserProfile& profile);
+
+  /// Steps 1-5 against an already-resolved document. Used by renegotiation
+  /// (the session holds the document reference even if the catalog entry
+  /// has been replaced meanwhile).
+  NegotiationOutcome negotiate_document(const ClientMachine& client,
+                                        std::shared_ptr<const MultimediaDocument> document,
+                                        const UserProfile& profile);
+
+  /// Step 5 in isolation: walk `offers` best-to-worst, first the offers
+  /// satisfying the user requirements, then the rest, skipping indices in
+  /// `exclude`; commit the first that the servers and the transport accept.
+  /// Also the engine of the adaptation procedure (exclude = offers already
+  /// tried or in difficulty).
+  CommitAttempt commit_first(const ClientMachine& client, const OfferList& offers,
+                             const MMProfile& profile,
+                             std::span<const std::size_t> exclude = {});
+
+  const CostModel& cost_model() const { return cost_model_; }
+  const NegotiationConfig& config() const { return config_; }
+  Catalog& catalog() { return *catalog_; }
+
+ private:
+  Catalog* catalog_;
+  ServerFarm* farm_;
+  TransportProvider* transport_;
+  CostModel cost_model_;
+  NegotiationConfig config_;
+};
+
+/// The "local offer" presented with FAILEDWITHLOCALOFFER: the user's
+/// desired values clipped to the client machine capabilities, at no cost
+/// (nothing was reserved).
+UserOffer local_offer_from(const MMProfile& clipped);
+
+}  // namespace qosnp

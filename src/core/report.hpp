@@ -1,0 +1,26 @@
+// Human-readable rendering of negotiation results: the text the prototype's
+// *information window* (paper Fig. 6 / Sec. 8) displayed — the negotiation
+// status, the offered QoS per medium, the cost, and what the user can do
+// next. Used by the examples and the CLI profile tool.
+#pragma once
+
+#include <string>
+
+#include "core/qos_manager.hpp"
+
+namespace qosnp {
+
+/// Multi-line report of one negotiation outcome.
+std::string render_information_window(const NegotiationOutcome& outcome);
+
+/// One-line summary ("SUCCEEDED: video (color, 25 frames/s, ...) at $4.55").
+std::string render_summary(const NegotiationOutcome& outcome);
+
+/// Explain the classification: the top `max_rows` system offers with their
+/// SNS, OIF, cost, whether they satisfy the user requirements, and which
+/// one was committed — the "why did I get this offer?" view the paper's
+/// automatic classification otherwise hides from the user.
+std::string render_classification_table(const NegotiationOutcome& outcome,
+                                        const MMProfile& profile, std::size_t max_rows = 10);
+
+}  // namespace qosnp

@@ -1,0 +1,106 @@
+#include "cost/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qosnp {
+
+CostTable::CostTable(std::vector<ThroughputClass> classes) : classes_(std::move(classes)) {}
+
+std::size_t CostTable::classify(std::int64_t bps) const {
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (bps <= classes_[i].upper_bps) return i;
+  }
+  return classes_.empty() ? 0 : classes_.size() - 1;
+}
+
+Money CostTable::cost_per_second(std::int64_t bps) const {
+  if (classes_.empty()) return Money{};
+  return classes_[classify(bps)].cost_per_second;
+}
+
+std::vector<std::string> CostTable::validate() const {
+  std::vector<std::string> problems;
+  if (classes_.empty()) {
+    problems.push_back("cost table has no throughput classes");
+    return problems;
+  }
+  for (std::size_t i = 1; i < classes_.size(); ++i) {
+    if (classes_[i].upper_bps <= classes_[i - 1].upper_bps) {
+      problems.push_back("throughput class bounds are not strictly increasing at index " +
+                         std::to_string(i));
+    }
+    if (classes_[i].cost_per_second < classes_[i - 1].cost_per_second) {
+      problems.push_back("tariff decreases with throughput at index " + std::to_string(i));
+    }
+  }
+  return problems;
+}
+
+CostTable CostTable::standard_network() {
+  // Tariffs chosen so that a TV-quality MPEG-1 news video of a few minutes
+  // lands in the low single-digit dollars, as in the paper's examples.
+  return CostTable{{
+      {64'000, Money::micros(500)},           // <= 64 kbit/s   : $0.0005/s
+      {256'000, Money::micros(1'500)},        // <= 256 kbit/s  : $0.0015/s
+      {1'000'000, Money::micros(4'000)},      // <= 1 Mbit/s    : $0.004/s
+      {2'000'000, Money::micros(7'000)},      // <= 2 Mbit/s    : $0.007/s
+      {4'000'000, Money::micros(12'000)},     // <= 4 Mbit/s    : $0.012/s
+      {10'000'000, Money::micros(25'000)},    // <= 10 Mbit/s   : $0.025/s
+      {25'000'000, Money::micros(60'000)},    // <= 25 Mbit/s   : $0.06/s
+      {100'000'000, Money::micros(200'000)},  // <= 100 Mbit/s  : $0.2/s
+  }};
+}
+
+CostTable CostTable::standard_server() {
+  // Server access is cheaper than wide-area transport.
+  return CostTable{{
+      {64'000, Money::micros(200)},
+      {256'000, Money::micros(600)},
+      {1'000'000, Money::micros(1'500)},
+      {2'000'000, Money::micros(3'000)},
+      {4'000'000, Money::micros(5'000)},
+      {10'000'000, Money::micros(10'000)},
+      {25'000'000, Money::micros(25'000)},
+      {100'000'000, Money::micros(80'000)},
+  }};
+}
+
+std::int64_t CostModel::charged_bps(const StreamRequirements& req) {
+  return req.avg_bit_rate_bps;
+}
+
+Money CostModel::charge(const CostTable& table, const StreamRequirements& req) const {
+  const Money per_second = table.cost_per_second(charged_bps(req));
+  Money total = per_second.scaled(req.duration_s);
+  if (req.guarantee == GuaranteeClass::kBestEffort) {
+    total = total.scaled(best_effort_discount_);
+  }
+  return total;
+}
+
+Money CostModel::stream_network_cost(const StreamRequirements& req) const {
+  return charge(network_, req);
+}
+
+Money CostModel::stream_server_cost(const StreamRequirements& req) const {
+  return charge(server_, req);
+}
+
+CostBreakdown CostModel::document_cost(Money copyright,
+                                       const std::vector<StreamRequirements>& streams) const {
+  CostBreakdown breakdown;
+  breakdown.copyright = copyright;
+  breakdown.total = copyright;
+  breakdown.streams.reserve(streams.size());
+  for (const StreamRequirements& req : streams) {
+    CostBreakdown::PerStream per;
+    per.network = stream_network_cost(req);
+    per.server = stream_server_cost(req);
+    breakdown.total += per.network + per.server;
+    breakdown.streams.push_back(per);
+  }
+  return breakdown;
+}
+
+}  // namespace qosnp

@@ -1,0 +1,86 @@
+#include "delivery/playout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "delivery/vbr_trace.hpp"
+
+namespace qosnp {
+
+PlayoutReport simulate_playout(const Variant& variant, double duration_s,
+                               const DeliveryConfig& config) {
+  PlayoutReport report;
+  if (variant.blocks_per_second <= 0.0 || config.bottleneck_bps <= 0) return report;
+
+  const std::size_t blocks = static_cast<std::size_t>(
+      std::llround(duration_s * variant.blocks_per_second));
+  if (blocks == 0) return report;
+  const auto trace = generate_block_trace(variant, blocks, config.seed);
+  const double block_period = 1.0 / variant.blocks_per_second;
+
+  Rng rng(config.seed ^ 0x5bd1e995ULL);
+
+  // Sender: block i finishes transmission when the link has drained all
+  // bytes of blocks 0..i at the bottleneck rate (work-conserving shaper,
+  // server pushes as fast as the reservation allows).
+  // Receiver: consumption deadline of block i is prebuffer + i*period,
+  // shifted right by every stall that already happened.
+  report.blocks = blocks;
+  report.cumulative_stall.reserve(blocks);
+  double drain_end = 0.0;  // when the bottleneck finishes block i
+  double stall_total = 0.0;
+  bool in_stall = false;
+  for (std::size_t i = 0; i < blocks; ++i) {
+    const double deadline = config.prebuffer_s + static_cast<double>(i) * block_period +
+                            stall_total;
+    // Finite client buffer: the sender may not push block i before the
+    // client is within max_buffer_ahead_s of consuming it.
+    drain_end = std::max(drain_end, deadline - config.max_buffer_ahead_s);
+    drain_end += static_cast<double>(trace[i]) * 8.0 / static_cast<double>(config.bottleneck_bps);
+    double arrival = drain_end + config.base_delay_ms / 1000.0 +
+                     rng.uniform(-config.jitter_ms, config.jitter_ms) / 1000.0;
+    if (config.loss_rate > 0.0 && rng.chance(config.loss_rate)) {
+      // A lost block costs a retransmission round trip plus one block
+      // period before the recovered copy lands.
+      arrival += 2.0 * config.base_delay_ms / 1000.0 + block_period;
+    }
+    if (arrival > deadline) {
+      const double lateness = arrival - deadline;
+      report.late_blocks += 1;
+      report.max_lateness_s = std::max(report.max_lateness_s, lateness);
+      stall_total += lateness;
+      if (!in_stall) {
+        report.stalls += 1;
+        in_stall = true;
+      }
+    } else {
+      in_stall = false;
+    }
+    report.cumulative_stall.push_back(stall_total);
+  }
+  report.total_stall_s = stall_total;
+  report.playout_end_s =
+      config.prebuffer_s + static_cast<double>(blocks) * block_period + stall_total;
+  return report;
+}
+
+double max_sync_skew(const PlayoutReport& a, const PlayoutReport& b) {
+  if (a.cumulative_stall.empty() || b.cumulative_stall.empty()) return 0.0;
+  // Compare cumulative stalls at matching presentation fractions: stream
+  // block counts differ (video 25 blocks/s vs audio 50 blocks/s), so index
+  // proportionally.
+  const std::size_t samples = std::max(a.cumulative_stall.size(), b.cumulative_stall.size());
+  double max_skew = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double frac = static_cast<double>(s) / static_cast<double>(samples);
+    const std::size_t ia = std::min(a.cumulative_stall.size() - 1,
+                                    static_cast<std::size_t>(frac * a.cumulative_stall.size()));
+    const std::size_t ib = std::min(b.cumulative_stall.size() - 1,
+                                    static_cast<std::size_t>(frac * b.cumulative_stall.size()));
+    max_skew = std::max(max_skew,
+                        std::abs(a.cumulative_stall[ia] - b.cumulative_stall[ib]));
+  }
+  return max_skew;
+}
+
+}  // namespace qosnp

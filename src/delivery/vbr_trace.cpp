@@ -1,0 +1,66 @@
+#include "delivery/vbr_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qosnp {
+
+namespace {
+
+constexpr std::size_t kGopLength = 12;
+
+std::int32_t clamp_block(double value, std::int64_t max_block) {
+  const double clamped = std::clamp(value, 1.0, static_cast<double>(max_block));
+  return static_cast<std::int32_t>(std::llround(clamped));
+}
+
+}  // namespace
+
+std::vector<std::int32_t> generate_block_trace(const Variant& variant, std::size_t blocks,
+                                               std::uint64_t seed) {
+  std::vector<std::int32_t> trace;
+  trace.reserve(blocks);
+  // Mix the variant identity into the seed so replicas differ from their
+  // originals only via localisation, not content.
+  std::uint64_t mixed = seed;
+  for (char c : variant.id) mixed = mixed * 131 + static_cast<unsigned char>(c);
+  Rng rng(mixed);
+
+  const double avg = static_cast<double>(variant.avg_block_bytes);
+  const double max = static_cast<double>(variant.max_block_bytes);
+
+  if (variant.kind() == MediaKind::kVideo && max > avg) {
+    // One I frame at the peak per GOP; the other blocks share the residual
+    // budget so the long-run mean stays at avg, with +-15% per-block noise.
+    const double residual = std::max(1.0, (avg * kGopLength - max) / (kGopLength - 1));
+    for (std::size_t i = 0; i < blocks; ++i) {
+      if (i % kGopLength == 0) {
+        trace.push_back(clamp_block(max, variant.max_block_bytes));
+      } else {
+        trace.push_back(
+            clamp_block(residual * rng.uniform(0.85, 1.15), variant.max_block_bytes));
+      }
+    }
+  } else {
+    // Audio / near-CBR media: mild fluctuation around the mean.
+    for (std::size_t i = 0; i < blocks; ++i) {
+      trace.push_back(clamp_block(avg * rng.uniform(0.9, 1.1), variant.max_block_bytes));
+    }
+  }
+  return trace;
+}
+
+double trace_mean(const std::vector<std::int32_t>& trace) {
+  if (trace.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::int32_t b : trace) sum += b;
+  return sum / static_cast<double>(trace.size());
+}
+
+std::int32_t trace_peak(const std::vector<std::int32_t>& trace) {
+  std::int32_t peak = 0;
+  for (std::int32_t b : trace) peak = std::max(peak, b);
+  return peak;
+}
+
+}  // namespace qosnp

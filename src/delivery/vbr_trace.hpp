@@ -1,0 +1,30 @@
+// VBR block traces: per-variant sequences of block sizes consistent with
+// the variant's metadata (avg/max block length). The negotiation works on
+// aggregate metadata only (paper Sec. 6), but the *delivery* of continuous
+// media is block-by-block — video frames follow an MPEG group-of-pictures
+// pattern (large I frames, small P/B frames), audio blocks vary mildly.
+// Traces are deterministic for (variant, seed) so experiments replay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "document/model.hpp"
+#include "util/rng.hpp"
+
+namespace qosnp {
+
+/// Sizes (bytes) of the first `blocks` blocks of a variant's stream.
+/// Video: a 12-block GOP pattern I BB P BB P BB P BB scaled so that the
+/// long-run mean matches avg_block_bytes and the I frames sit at
+/// max_block_bytes. Audio/discrete: mild fluctuation around the mean,
+/// capped at max_block_bytes.
+std::vector<std::int32_t> generate_block_trace(const Variant& variant, std::size_t blocks,
+                                               std::uint64_t seed);
+
+/// Empirical mean of a trace (test helper).
+double trace_mean(const std::vector<std::int32_t>& trace);
+/// Empirical peak of a trace.
+std::int32_t trace_peak(const std::vector<std::int32_t>& trace);
+
+}  // namespace qosnp

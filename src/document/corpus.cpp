@@ -1,0 +1,304 @@
+#include "document/corpus.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+
+namespace qosnp {
+
+namespace {
+
+// Uncompressed bits per pixel at each colour depth.
+double bits_per_pixel(ColorDepth color) {
+  switch (color) {
+    case ColorDepth::kBlackWhite: return 1.0;
+    case ColorDepth::kGray: return 8.0;
+    case ColorDepth::kColor: return 16.0;
+    case ColorDepth::kSuperColor: return 24.0;
+  }
+  return 16.0;
+}
+
+// Average compression ratio of each video coding format (raw/compressed),
+// and the peak-to-average burst factor (an I-frame versus the long-run
+// average in an MPEG group of pictures; MJPEG is intra-only so nearly flat).
+struct VideoCodec {
+  double avg_ratio;
+  double burst;
+};
+
+VideoCodec video_codec(CodingFormat format) {
+  switch (format) {
+    case CodingFormat::kMPEG1: return {40.0, 3.0};
+    case CodingFormat::kMPEG2: return {45.0, 3.0};
+    case CodingFormat::kMJPEG: return {15.0, 1.3};
+    case CodingFormat::kH261: return {50.0, 2.0};
+    default: return {30.0, 2.0};
+  }
+}
+
+// Audio compression factor relative to PCM.
+double audio_ratio(CodingFormat format) {
+  switch (format) {
+    case CodingFormat::kPCM: return 1.0;
+    case CodingFormat::kADPCM: return 2.0;
+    case CodingFormat::kMPEGAudio: return 4.0;
+    default: return 1.0;
+  }
+}
+
+// 4:3 picture: lines = 3/4 of the pixels-per-line resolution figure.
+double pixels_per_frame(int resolution) {
+  return static_cast<double>(resolution) * (static_cast<double>(resolution) * 0.75);
+}
+
+constexpr double kAudioBlockSeconds = 0.020;  // 20 ms audio blocks
+constexpr double kAudioBlocksPerSecond = 1.0 / kAudioBlockSeconds;
+
+}  // namespace
+
+std::int64_t video_avg_frame_bytes(const VideoQoS& qos, CodingFormat format) {
+  const VideoCodec codec = video_codec(format);
+  const double raw_bits = pixels_per_frame(qos.resolution) * bits_per_pixel(qos.color);
+  const double bytes = raw_bits / 8.0 / codec.avg_ratio;
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::llround(bytes)));
+}
+
+std::int64_t video_max_frame_bytes(const VideoQoS& qos, CodingFormat format) {
+  const VideoCodec codec = video_codec(format);
+  return std::max<std::int64_t>(
+      video_avg_frame_bytes(qos, format),
+      static_cast<std::int64_t>(
+          std::llround(static_cast<double>(video_avg_frame_bytes(qos, format)) * codec.burst)));
+}
+
+std::int64_t audio_block_bytes(AudioQuality quality, CodingFormat format) {
+  const double channels = quality == AudioQuality::kCD ? 2.0 : 1.0;
+  const double raw = sample_rate_hz(quality) * bits_per_sample(quality) / 8.0 * channels *
+                     kAudioBlockSeconds;
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::llround(raw / audio_ratio(format))));
+}
+
+Variant make_video_variant(VariantId id, const VideoQoS& qos, CodingFormat format,
+                           double duration_s, ServerId server) {
+  Variant v;
+  v.id = std::move(id);
+  v.format = format;
+  v.qos = qos;
+  v.avg_block_bytes = video_avg_frame_bytes(qos, format);
+  v.max_block_bytes = video_max_frame_bytes(qos, format);
+  v.blocks_per_second = static_cast<double>(qos.frame_rate_fps);
+  v.file_bytes = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(v.avg_block_bytes) * v.blocks_per_second * duration_s));
+  v.server = std::move(server);
+  return v;
+}
+
+Variant make_audio_variant(VariantId id, AudioQuality quality, CodingFormat format,
+                           double duration_s, ServerId server) {
+  Variant v;
+  v.id = std::move(id);
+  v.format = format;
+  v.qos = AudioQoS{quality};
+  v.avg_block_bytes = audio_block_bytes(quality, format);
+  // VBR audio coders vary mildly around the mean.
+  v.max_block_bytes = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(v.avg_block_bytes) * 1.2));
+  v.blocks_per_second = kAudioBlocksPerSecond;
+  v.file_bytes = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(v.avg_block_bytes) * v.blocks_per_second * duration_s));
+  v.server = std::move(server);
+  return v;
+}
+
+Variant make_text_variant(VariantId id, Language language, CodingFormat format,
+                          std::int64_t bytes, ServerId server) {
+  Variant v;
+  v.id = std::move(id);
+  v.format = format;
+  v.qos = TextQoS{language};
+  v.avg_block_bytes = bytes;
+  v.max_block_bytes = bytes;
+  v.blocks_per_second = 0.0;  // discrete: delivered once
+  v.file_bytes = bytes;
+  v.server = std::move(server);
+  return v;
+}
+
+Variant make_image_variant(VariantId id, const ImageQoS& qos, CodingFormat format,
+                           ServerId server) {
+  Variant v;
+  v.id = std::move(id);
+  v.format = format;
+  v.qos = qos;
+  const double raw_bits = pixels_per_frame(qos.resolution) * bits_per_pixel(qos.color);
+  const double ratio = format == CodingFormat::kJPEG ? 12.0 : (format == CodingFormat::kGIF ? 4.0 : 1.5);
+  const std::int64_t bytes =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(std::llround(raw_bits / 8.0 / ratio)));
+  v.avg_block_bytes = bytes;
+  v.max_block_bytes = bytes;
+  v.blocks_per_second = 0.0;
+  v.file_bytes = bytes;
+  v.server = std::move(server);
+  return v;
+}
+
+namespace {
+
+ServerId pick_server(const CorpusConfig& config, Rng& rng) {
+  if (config.servers.empty()) return "server-a";
+  return config.servers[rng.below(config.servers.size())];
+}
+
+ServerId other_server(const CorpusConfig& config, const ServerId& not_this, Rng& rng) {
+  if (config.servers.size() < 2) return not_this;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    ServerId s = pick_server(config, rng);
+    if (s != not_this) return s;
+  }
+  return not_this;
+}
+
+// Quality ladders the generator samples from.
+constexpr std::array<ColorDepth, 4> kColors = {ColorDepth::kBlackWhite, ColorDepth::kGray,
+                                               ColorDepth::kColor, ColorDepth::kSuperColor};
+constexpr std::array<int, 4> kFrameRates = {10, 15, 25, 30};
+constexpr std::array<int, 3> kResolutions = {320, kTvResolution, 1280};
+constexpr std::array<CodingFormat, 3> kVideoFormats = {CodingFormat::kMPEG1, CodingFormat::kMPEG2,
+                                                       CodingFormat::kMJPEG};
+constexpr std::array<AudioQuality, 3> kAudioQualities = {
+    AudioQuality::kTelephone, AudioQuality::kRadio, AudioQuality::kCD};
+constexpr std::array<CodingFormat, 3> kAudioFormats = {CodingFormat::kPCM, CodingFormat::kADPCM,
+                                                       CodingFormat::kMPEGAudio};
+
+}  // namespace
+
+MultimediaDocument generate_article(const CorpusConfig& config, int index, Rng& rng) {
+  MultimediaDocument doc;
+  {
+    std::ostringstream os;
+    os << "article-" << index;
+    doc.id = os.str();
+  }
+  doc.title = "News article #" + std::to_string(index);
+  const std::int64_t copy_range =
+      config.max_copyright.as_micros() - config.min_copyright.as_micros();
+  doc.copyright_cost = Money::micros(config.min_copyright.as_micros() +
+                                     (copy_range > 0
+                                          ? static_cast<std::int64_t>(
+                                                rng.below(static_cast<std::uint64_t>(copy_range)))
+                                          : 0));
+  const double duration = rng.uniform(config.min_duration_s, config.max_duration_s);
+
+  // Video monomedia: a ladder of distinct (colour, rate, resolution, format)
+  // combinations, optionally replicated to a second server.
+  Monomedia video;
+  video.id = doc.id + "/video";
+  video.kind = MediaKind::kVideo;
+  video.name = "main video";
+  video.duration_s = duration;
+  const int nvideo = static_cast<int>(
+      rng.between(config.min_video_variants, std::max(config.min_video_variants,
+                                                      config.max_video_variants)));
+  for (int i = 0; i < nvideo; ++i) {
+    VideoQoS qos;
+    qos.color = kColors[rng.below(kColors.size())];
+    qos.frame_rate_fps = kFrameRates[rng.below(kFrameRates.size())];
+    qos.resolution = kResolutions[rng.below(kResolutions.size())];
+    const CodingFormat format = kVideoFormats[rng.below(kVideoFormats.size())];
+    const ServerId server = pick_server(config, rng);
+    video.variants.push_back(make_video_variant(video.id + "/v" + std::to_string(i), qos, format,
+                                                duration, server));
+    if (rng.chance(config.replication_probability)) {
+      video.variants.push_back(make_video_variant(video.id + "/v" + std::to_string(i) + "r", qos,
+                                                  format, duration,
+                                                  other_server(config, server, rng)));
+    }
+  }
+  doc.monomedia.push_back(std::move(video));
+
+  if (rng.chance(config.audio_probability)) {
+    Monomedia audio;
+    audio.id = doc.id + "/audio";
+    audio.kind = MediaKind::kAudio;
+    audio.name = "soundtrack";
+    audio.duration_s = duration;
+    const int naudio = static_cast<int>(
+        rng.between(config.min_audio_variants, std::max(config.min_audio_variants,
+                                                        config.max_audio_variants)));
+    for (int i = 0; i < naudio; ++i) {
+      const AudioQuality q = kAudioQualities[rng.below(kAudioQualities.size())];
+      const CodingFormat f = kAudioFormats[rng.below(kAudioFormats.size())];
+      audio.variants.push_back(make_audio_variant(audio.id + "/v" + std::to_string(i), q, f,
+                                                  duration, pick_server(config, rng)));
+    }
+    doc.monomedia.push_back(std::move(audio));
+    doc.sync.temporal.push_back(TemporalRelation{doc.id + "/video", doc.id + "/audio",
+                                                 TemporalRelation::Type::kParallel, 0.0});
+  }
+
+  if (rng.chance(config.text_probability)) {
+    Monomedia text;
+    text.id = doc.id + "/text";
+    text.kind = MediaKind::kText;
+    text.name = "article text";
+    text.duration_s = 0.0;
+    const std::int64_t bytes = rng.between(2'000, 20'000);
+    text.variants.push_back(make_text_variant(text.id + "/en", Language::kEnglish,
+                                              CodingFormat::kPlainText, bytes,
+                                              pick_server(config, rng)));
+    if (rng.chance(config.second_language_probability)) {
+      text.variants.push_back(make_text_variant(text.id + "/fr", Language::kFrench,
+                                                CodingFormat::kPlainText, bytes,
+                                                pick_server(config, rng)));
+    }
+    doc.monomedia.push_back(std::move(text));
+  }
+
+  if (rng.chance(config.image_probability)) {
+    Monomedia image;
+    image.id = doc.id + "/image";
+    image.kind = MediaKind::kImage;
+    image.name = "headline photo";
+    image.duration_s = 0.0;
+    const std::array<CodingFormat, 2> formats = {CodingFormat::kJPEG, CodingFormat::kGIF};
+    const int nimg = static_cast<int>(rng.between(1, 2));
+    for (int i = 0; i < nimg; ++i) {
+      ImageQoS qos;
+      qos.color = kColors[rng.below(kColors.size())];
+      qos.resolution = kResolutions[rng.below(kResolutions.size())];
+      image.variants.push_back(make_image_variant(image.id + "/v" + std::to_string(i), qos,
+                                                  formats[rng.below(formats.size())],
+                                                  pick_server(config, rng)));
+    }
+    doc.monomedia.push_back(std::move(image));
+  }
+
+  // Simple spatial layout: video top-left, image to its right, text below.
+  int cursor_y = 0;
+  for (const Monomedia& m : doc.monomedia) {
+    if (m.kind == MediaKind::kVideo) {
+      doc.sync.spatial.push_back(SpatialRegion{m.id, 0, 0, kTvResolution, kTvResolution * 3 / 4});
+      cursor_y = std::max(cursor_y, kTvResolution * 3 / 4);
+    } else if (m.kind == MediaKind::kImage) {
+      doc.sync.spatial.push_back(SpatialRegion{m.id, kTvResolution, 0, 320, 240});
+      cursor_y = std::max(cursor_y, 240);
+    } else if (m.kind == MediaKind::kText) {
+      doc.sync.spatial.push_back(SpatialRegion{m.id, 0, cursor_y, kTvResolution + 320, 200});
+    }
+  }
+  return doc;
+}
+
+std::vector<MultimediaDocument> generate_corpus(const CorpusConfig& config) {
+  Rng rng(config.seed);
+  std::vector<MultimediaDocument> docs;
+  docs.reserve(static_cast<std::size_t>(config.num_documents));
+  for (int i = 0; i < config.num_documents; ++i) {
+    docs.push_back(generate_article(config, i, rng));
+  }
+  return docs;
+}
+
+}  // namespace qosnp

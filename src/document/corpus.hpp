@@ -1,0 +1,75 @@
+// Synthetic news-on-demand corpus generator: the stand-in for the CITR
+// prototype's real article database. Produces multimedia news articles with
+// realistic variant ladders (colour / frame-rate / resolution / format /
+// replica-server combinations) and block-length metadata consistent with the
+// QoS each variant delivers, so the Sec. 6 mapping yields plausible bitrates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "document/model.hpp"
+#include "util/money.hpp"
+#include "util/rng.hpp"
+
+namespace qosnp {
+
+struct CorpusConfig {
+  int num_documents = 50;
+
+  /// Variant-ladder sizes per monomedia (inclusive ranges).
+  int min_video_variants = 2;
+  int max_video_variants = 6;
+  int min_audio_variants = 1;
+  int max_audio_variants = 3;
+
+  /// Probability an article carries each optional monomedia.
+  double audio_probability = 0.95;
+  double text_probability = 0.9;
+  double image_probability = 0.6;
+  double second_language_probability = 0.5;
+
+  /// Continuous-media duration range (seconds).
+  double min_duration_s = 60.0;
+  double max_duration_s = 480.0;
+
+  /// Servers variants can live on; a variant is replicated onto a second
+  /// server with `replication_probability` (replicas are distinct variants,
+  /// per the paper).
+  std::vector<ServerId> servers{"server-a", "server-b"};
+  double replication_probability = 0.25;
+
+  Money min_copyright = Money::cents(25);
+  Money max_copyright = Money::dollars(2);
+
+  std::uint64_t seed = 42;
+};
+
+/// Average stored bytes of one video frame for the given quality and coding
+/// format (compression model documented in corpus.cpp).
+std::int64_t video_avg_frame_bytes(const VideoQoS& qos, CodingFormat format);
+/// Peak (I-frame) bytes of one video frame.
+std::int64_t video_max_frame_bytes(const VideoQoS& qos, CodingFormat format);
+/// Bytes of one 20 ms audio block for the given quality and format.
+std::int64_t audio_block_bytes(AudioQuality quality, CodingFormat format);
+
+/// Build a single video variant with consistent block metadata.
+Variant make_video_variant(VariantId id, const VideoQoS& qos, CodingFormat format,
+                           double duration_s, ServerId server);
+/// Build a single audio variant with consistent block metadata.
+Variant make_audio_variant(VariantId id, AudioQuality quality, CodingFormat format,
+                           double duration_s, ServerId server);
+/// Build a text variant (discrete medium).
+Variant make_text_variant(VariantId id, Language language, CodingFormat format,
+                          std::int64_t bytes, ServerId server);
+/// Build a still-image variant (discrete medium).
+Variant make_image_variant(VariantId id, const ImageQoS& qos, CodingFormat format,
+                           ServerId server);
+
+/// Generate a full synthetic corpus.
+std::vector<MultimediaDocument> generate_corpus(const CorpusConfig& config);
+
+/// Generate a single news article (exposed for tests and examples).
+MultimediaDocument generate_article(const CorpusConfig& config, int index, Rng& rng);
+
+}  // namespace qosnp

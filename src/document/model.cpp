@@ -1,0 +1,91 @@
+#include "document/model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace qosnp {
+
+std::string Variant::describe() const {
+  std::ostringstream os;
+  os << id << " [" << qosnp::to_string(format) << "] " << qosnp::to_string(qos) << " @" << server;
+  return os.str();
+}
+
+const Variant* Monomedia::find_variant(const VariantId& vid) const {
+  for (const Variant& v : variants) {
+    if (v.id == vid) return &v;
+  }
+  return nullptr;
+}
+
+double MultimediaDocument::duration_s() const {
+  double d = 0.0;
+  for (const Monomedia& m : monomedia) d = std::max(d, m.duration_s);
+  return d;
+}
+
+const Monomedia* MultimediaDocument::find_monomedia(const MonomediaId& mid) const {
+  for (const Monomedia& m : monomedia) {
+    if (m.id == mid) return &m;
+  }
+  return nullptr;
+}
+
+std::pair<int, int> MultimediaDocument::layout_extent() const {
+  int w = 0;
+  int h = 0;
+  for (const SpatialRegion& r : sync.spatial) {
+    w = std::max(w, r.x + r.width);
+    h = std::max(h, r.y + r.height);
+  }
+  return {w, h};
+}
+
+std::vector<std::string> validate(const MultimediaDocument& doc) {
+  std::vector<std::string> problems;
+  auto complain = [&](const std::string& what) { problems.push_back(what); };
+
+  if (doc.monomedia.empty()) complain("document '" + doc.id + "' has no monomedia");
+  for (const Monomedia& m : doc.monomedia) {
+    if (m.variants.empty()) complain("monomedia '" + m.id + "' has no variants");
+    const bool continuous = m.kind == MediaKind::kVideo || m.kind == MediaKind::kAudio;
+    if (continuous && m.duration_s <= 0.0) {
+      complain("continuous monomedia '" + m.id + "' has non-positive duration");
+    }
+    for (const Variant& v : m.variants) {
+      if (v.kind() != m.kind) {
+        complain("variant '" + v.id + "' medium does not match monomedia '" + m.id + "'");
+      }
+      if (media_kind_of(v.format) != m.kind) {
+        complain("variant '" + v.id + "' coding format does not match monomedia '" + m.id + "'");
+      }
+      if (v.avg_block_bytes > v.max_block_bytes) {
+        complain("variant '" + v.id + "' avg block length exceeds max block length");
+      }
+      if (v.avg_block_bytes <= 0) complain("variant '" + v.id + "' has non-positive block length");
+      if (continuous && v.blocks_per_second <= 0.0) {
+        complain("continuous variant '" + v.id + "' has non-positive block rate");
+      }
+      if (v.server.empty()) complain("variant '" + v.id + "' has no server localisation");
+    }
+  }
+
+  auto known = [&](const MonomediaId& mid) { return doc.find_monomedia(mid) != nullptr; };
+  for (const TemporalRelation& t : doc.sync.temporal) {
+    if (!known(t.first) || !known(t.second)) {
+      complain("temporal relation references unknown monomedia ('" + t.first + "', '" + t.second +
+               "')");
+    }
+  }
+  for (const SpatialRegion& r : doc.sync.spatial) {
+    if (!known(r.monomedia)) {
+      complain("spatial region references unknown monomedia '" + r.monomedia + "'");
+    }
+    if (r.width <= 0 || r.height <= 0) {
+      complain("spatial region for '" + r.monomedia + "' has non-positive extent");
+    }
+  }
+  return problems;
+}
+
+}  // namespace qosnp

@@ -1,0 +1,39 @@
+// Text (de)serialisation of multimedia documents — the exchange format of
+// the catalog (the prototype's MM database [Vit 95] exported exactly this
+// metadata: monomedia, variants with block lengths and localisation, and
+// synchronisation attributes). Line-oriented "key = fields|..." records so
+// catalogs can be shipped as plain files and edited by hand.
+//
+//   document = article-0
+//   title = News article #0
+//   copyright = $0.75
+//   monomedia = article-0/video | video | main video | 240
+//   variant = article-0/video/v0 | MPEG-1 | server-a | 15360 | 46080 | 25 | 92160000 | color 25 640
+//   temporal = article-0/video | article-0/audio | parallel | 0
+//   spatial = article-0/video | 0 0 640 480
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "document/catalog.hpp"
+#include "document/model.hpp"
+#include "util/result.hpp"
+
+namespace qosnp {
+
+/// Render one document (round-trips through parse_documents).
+std::string to_text(const MultimediaDocument& document);
+
+/// Parse one or more documents. Each starts with a "document = <id>" line.
+Result<std::vector<MultimediaDocument>> parse_documents(const std::string& text);
+
+/// Write every catalog document to a file.
+Result<bool> save_catalog(const Catalog& catalog, const std::string& path);
+
+/// Load documents from a file into the catalog (replacing same-id entries).
+/// Returns the number of documents loaded; fails on parse or validation
+/// errors (nothing is partially loaded on a parse error).
+Result<std::size_t> load_catalog(Catalog& catalog, const std::string& path);
+
+}  // namespace qosnp

@@ -1,0 +1,217 @@
+#include "domain/multi_domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/log.hpp"
+
+namespace qosnp {
+
+MultiDomainTransport::MultiDomainTransport(std::vector<DomainConfig> domains,
+                                           RoutePolicy policy)
+    : policy_(policy) {
+  domains_.reserve(domains.size());
+  for (DomainConfig& config : domains) {
+    index_[config.id] = domains_.size();
+    Domain d;
+    d.effective_capacity = config.capacity_bps;
+    d.config = std::move(config);
+    domains_.push_back(std::move(d));
+  }
+  peers_.assign(domains_.size(), {});
+}
+
+std::optional<std::size_t> MultiDomainTransport::domain_index(const DomainId& id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<bool> MultiDomainTransport::add_peering(const DomainId& a, const DomainId& b) {
+  std::lock_guard lk(mu_);
+  const auto ia = domain_index(a);
+  const auto ib = domain_index(b);
+  if (!ia) return Err("unknown domain '" + a + "'");
+  if (!ib) return Err("unknown domain '" + b + "'");
+  if (*ia == *ib) return Err("domain cannot peer with itself");
+  peers_[*ia].push_back(*ib);
+  peers_[*ib].push_back(*ia);
+  return true;
+}
+
+Result<bool> MultiDomainTransport::attach(const NodeId& node, const DomainId& domain) {
+  std::lock_guard lk(mu_);
+  const auto idx = domain_index(domain);
+  if (!idx) return Err("unknown domain '" + domain + "'");
+  attachments_[node] = *idx;
+  return true;
+}
+
+Result<std::vector<std::size_t>> MultiDomainTransport::route_locked(const NodeId& src,
+                                                                    const NodeId& dst,
+                                                                    std::int64_t rate) const {
+  auto src_it = attachments_.find(src);
+  auto dst_it = attachments_.find(dst);
+  if (src_it == attachments_.end()) return Err("node '" + src + "' attached to no domain");
+  if (dst_it == attachments_.end()) return Err("node '" + dst + "' attached to no domain");
+
+  // Dijkstra over domains. The weight of *entering* a domain is its
+  // per-second tariff for this rate (kCheapest) or 1 (kFewestDomains);
+  // domains without room for the rate are impassable. The source domain's
+  // own weight is charged too (it carries the segment as well).
+  auto weight = [&](std::size_t d) -> double {
+    if (domains_[d].reserved + rate > domains_[d].effective_capacity) {
+      return -1.0;  // impassable
+    }
+    if (policy_ == RoutePolicy::kFewestDomains) return 1.0;
+    return static_cast<double>(domains_[d].config.tariff.cost_per_second(rate).as_micros());
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(domains_.size(), kInf);
+  std::vector<std::size_t> prev(domains_.size(), SIZE_MAX);
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+  const double start_weight = weight(src_it->second);
+  if (start_weight < 0.0) return Err("source domain has no capacity");
+  dist[src_it->second] = start_weight;
+  heap.push({start_weight, src_it->second});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    if (u == dst_it->second) break;
+    for (std::size_t v : peers_[u]) {
+      const double w = weight(v);
+      if (w < 0.0) continue;
+      if (d + w < dist[v]) {
+        dist[v] = d + w;
+        prev[v] = u;
+        heap.push({d + w, v});
+      }
+    }
+  }
+  if (dist[dst_it->second] == kInf) {
+    return Err("no feasible domain route from '" + src + "' to '" + dst + "'");
+  }
+  std::vector<std::size_t> route;
+  for (std::size_t at = dst_it->second;; at = prev[at]) {
+    route.push_back(at);
+    if (at == src_it->second) break;
+  }
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+Result<FlowId> MultiDomainTransport::reserve(const NodeId& src, const NodeId& dst,
+                                             const StreamRequirements& req) {
+  const std::int64_t rate = rate_of(req);
+  if (rate <= 0) return Err("non-positive bit rate");
+  std::lock_guard lk(mu_);
+  auto route = route_locked(src, dst, rate);
+  if (!route.ok()) return Err(route.error());
+  for (std::size_t d : route.value()) {
+    domains_[d].reserved += rate;
+    ++domains_[d].flow_count;
+  }
+  Flow flow;
+  flow.route = std::move(route.value());
+  flow.rate = rate;
+  const FlowId id = next_id_++;
+  flows_[id] = std::move(flow);
+  QOSNP_LOG_DEBUG("domain", "flow ", id, " reserved across ", flows_[id].route.size(),
+                  " domains at ", rate, " bps");
+  return id;
+}
+
+bool MultiDomainTransport::release(FlowId id) {
+  std::lock_guard lk(mu_);
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  for (std::size_t d : it->second.route) {
+    domains_[d].reserved -= it->second.rate;
+    --domains_[d].flow_count;
+  }
+  flows_.erase(it);
+  return true;
+}
+
+Result<Money> MultiDomainTransport::quote_per_second(const NodeId& src, const NodeId& dst,
+                                                     const StreamRequirements& req) const {
+  const std::int64_t rate = rate_of(req);
+  if (rate <= 0) return Err("non-positive bit rate");
+  std::lock_guard lk(mu_);
+  auto route = route_locked(src, dst, rate);
+  if (!route.ok()) return Err(route.error());
+  Money total;
+  for (std::size_t d : route.value()) {
+    total += domains_[d].config.tariff.cost_per_second(rate);
+  }
+  return total;
+}
+
+std::vector<DomainId> MultiDomainTransport::route_of(FlowId id) const {
+  std::lock_guard lk(mu_);
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return {};
+  std::vector<DomainId> out;
+  out.reserve(it->second.route.size());
+  for (std::size_t d : it->second.route) out.push_back(domains_[d].config.id);
+  return out;
+}
+
+DomainUsage MultiDomainTransport::usage(const DomainId& domain) const {
+  std::lock_guard lk(mu_);
+  DomainUsage u;
+  const auto idx = domain_index(domain);
+  if (!idx) return u;
+  u.capacity_bps = domains_[*idx].config.capacity_bps;
+  u.effective_capacity_bps = domains_[*idx].effective_capacity;
+  u.reserved_bps = domains_[*idx].reserved;
+  u.flow_count = domains_[*idx].flow_count;
+  return u;
+}
+
+std::size_t MultiDomainTransport::active_flows() const {
+  std::lock_guard lk(mu_);
+  return flows_.size();
+}
+
+std::vector<FlowId> MultiDomainTransport::degrade_domain(const DomainId& domain,
+                                                         double lost_fraction) {
+  std::lock_guard lk(mu_);
+  const auto idx = domain_index(domain);
+  if (!idx) return {};
+  lost_fraction = std::clamp(lost_fraction, 0.0, 0.999);
+  domains_[*idx].effective_capacity = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(domains_[*idx].config.capacity_bps) *
+                   (1.0 - lost_fraction)));
+  // Victims newest-first until the domain fits again.
+  std::vector<FlowId> on_domain;
+  for (const auto& [id, flow] : flows_) {
+    if (std::find(flow.route.begin(), flow.route.end(), *idx) != flow.route.end()) {
+      on_domain.push_back(id);
+    }
+  }
+  std::sort(on_domain.begin(), on_domain.end(), std::greater<>());
+  std::int64_t excess = domains_[*idx].reserved - domains_[*idx].effective_capacity;
+  std::vector<FlowId> victims;
+  for (FlowId id : on_domain) {
+    if (excess <= 0) break;
+    victims.push_back(id);
+    excess -= flows_[id].rate;
+  }
+  return victims;
+}
+
+void MultiDomainTransport::restore_domain(const DomainId& domain) {
+  std::lock_guard lk(mu_);
+  const auto idx = domain_index(domain);
+  if (!idx) return;
+  domains_[*idx].effective_capacity = domains_[*idx].config.capacity_bps;
+}
+
+}  // namespace qosnp

@@ -1,0 +1,66 @@
+#include "media/qos.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace qosnp {
+
+namespace {
+int clamp_int(int v, int lo, int hi) { return std::clamp(v, lo, hi); }
+}  // namespace
+
+VideoQoS VideoQoS::clamped() const {
+  VideoQoS out = *this;
+  out.frame_rate_fps = clamp_int(frame_rate_fps, kFrozenFrameRate, kHdtvFrameRate);
+  out.resolution = clamp_int(resolution, kMinResolution, kHdtvResolution);
+  return out;
+}
+
+std::string VideoQoS::to_string() const {
+  std::ostringstream os;
+  os << "(" << qosnp::to_string(color) << ", " << frame_rate_fps << " frames/s, " << resolution
+     << " px/line)";
+  return os.str();
+}
+
+std::string AudioQoS::to_string() const {
+  std::ostringstream os;
+  os << "(" << qosnp::to_string(quality) << " quality)";
+  return os.str();
+}
+
+std::string TextQoS::to_string() const {
+  std::ostringstream os;
+  os << "(" << qosnp::to_string(language) << ")";
+  return os.str();
+}
+
+ImageQoS ImageQoS::clamped() const {
+  ImageQoS out = *this;
+  out.resolution = clamp_int(resolution, kMinResolution, kHdtvResolution);
+  return out;
+}
+
+std::string ImageQoS::to_string() const {
+  std::ostringstream os;
+  os << "(" << qosnp::to_string(color) << ", " << resolution << " px/line)";
+  return os.str();
+}
+
+MediaKind media_kind_of(const MonomediaQoS& qos) {
+  return std::visit(
+      [](const auto& q) -> MediaKind {
+        using T = std::decay_t<decltype(q)>;
+        if constexpr (std::is_same_v<T, VideoQoS>) return MediaKind::kVideo;
+        if constexpr (std::is_same_v<T, AudioQoS>) return MediaKind::kAudio;
+        if constexpr (std::is_same_v<T, TextQoS>) return MediaKind::kText;
+        if constexpr (std::is_same_v<T, ImageQoS>) return MediaKind::kImage;
+      },
+      qos);
+}
+
+std::string to_string(const MonomediaQoS& qos) {
+  return std::visit([](const auto& q) { return q.to_string(); }, qos);
+}
+
+}  // namespace qosnp

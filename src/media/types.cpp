@@ -1,0 +1,169 @@
+#include "media/types.hpp"
+
+#include "util/strings.hpp"
+
+namespace qosnp {
+
+MediaKind media_kind_of(CodingFormat format) {
+  switch (format) {
+    case CodingFormat::kMPEG1:
+    case CodingFormat::kMPEG2:
+    case CodingFormat::kMJPEG:
+    case CodingFormat::kH261:
+      return MediaKind::kVideo;
+    case CodingFormat::kPCM:
+    case CodingFormat::kADPCM:
+    case CodingFormat::kMPEGAudio:
+      return MediaKind::kAudio;
+    case CodingFormat::kPlainText:
+    case CodingFormat::kHTML:
+      return MediaKind::kText;
+    case CodingFormat::kJPEG:
+    case CodingFormat::kGIF:
+    case CodingFormat::kTIFF:
+      return MediaKind::kImage;
+  }
+  return MediaKind::kText;
+}
+
+int sample_rate_hz(AudioQuality quality) {
+  switch (quality) {
+    case AudioQuality::kTelephone: return 8'000;
+    case AudioQuality::kRadio: return 22'050;
+    case AudioQuality::kCD: return 44'100;
+  }
+  return 8'000;
+}
+
+int bits_per_sample(AudioQuality quality) {
+  switch (quality) {
+    case AudioQuality::kTelephone: return 8;
+    case AudioQuality::kRadio: return 16;
+    case AudioQuality::kCD: return 16;
+  }
+  return 8;
+}
+
+std::string_view to_string(MediaKind kind) {
+  switch (kind) {
+    case MediaKind::kVideo: return "video";
+    case MediaKind::kAudio: return "audio";
+    case MediaKind::kText: return "text";
+    case MediaKind::kImage: return "image";
+  }
+  return "?";
+}
+
+std::string_view to_string(CodingFormat format) {
+  switch (format) {
+    case CodingFormat::kMPEG1: return "MPEG-1";
+    case CodingFormat::kMPEG2: return "MPEG-2";
+    case CodingFormat::kMJPEG: return "MJPEG";
+    case CodingFormat::kH261: return "H.261";
+    case CodingFormat::kPCM: return "PCM";
+    case CodingFormat::kADPCM: return "ADPCM";
+    case CodingFormat::kMPEGAudio: return "MPEG-audio";
+    case CodingFormat::kPlainText: return "plain-text";
+    case CodingFormat::kHTML: return "HTML";
+    case CodingFormat::kJPEG: return "JPEG";
+    case CodingFormat::kGIF: return "GIF";
+    case CodingFormat::kTIFF: return "TIFF";
+  }
+  return "?";
+}
+
+std::string_view to_string(ColorDepth depth) {
+  switch (depth) {
+    case ColorDepth::kBlackWhite: return "black&white";
+    case ColorDepth::kGray: return "grey";
+    case ColorDepth::kColor: return "color";
+    case ColorDepth::kSuperColor: return "super-color";
+  }
+  return "?";
+}
+
+std::string_view to_string(AudioQuality quality) {
+  switch (quality) {
+    case AudioQuality::kTelephone: return "telephone";
+    case AudioQuality::kRadio: return "radio";
+    case AudioQuality::kCD: return "CD";
+  }
+  return "?";
+}
+
+std::string_view to_string(Language language) {
+  switch (language) {
+    case Language::kEnglish: return "english";
+    case Language::kFrench: return "french";
+    case Language::kGerman: return "german";
+    case Language::kSpanish: return "spanish";
+  }
+  return "?";
+}
+
+std::string_view to_string(GuaranteeClass klass) {
+  switch (klass) {
+    case GuaranteeClass::kBestEffort: return "best-effort";
+    case GuaranteeClass::kGuaranteed: return "guaranteed";
+  }
+  return "?";
+}
+
+namespace {
+template <typename Enum, std::size_t N>
+std::optional<Enum> parse_enum(std::string_view text, const Enum (&values)[N]) {
+  for (Enum v : values) {
+    if (iequals(text, to_string(v))) return v;
+  }
+  return std::nullopt;
+}
+}  // namespace
+
+std::optional<MediaKind> parse_media_kind(std::string_view text) {
+  static constexpr MediaKind kAll[] = {MediaKind::kVideo, MediaKind::kAudio, MediaKind::kText,
+                                       MediaKind::kImage};
+  return parse_enum(text, kAll);
+}
+
+std::optional<CodingFormat> parse_coding_format(std::string_view text) {
+  static constexpr CodingFormat kAll[] = {
+      CodingFormat::kMPEG1,     CodingFormat::kMPEG2, CodingFormat::kMJPEG,
+      CodingFormat::kH261,      CodingFormat::kPCM,   CodingFormat::kADPCM,
+      CodingFormat::kMPEGAudio, CodingFormat::kPlainText, CodingFormat::kHTML,
+      CodingFormat::kJPEG,      CodingFormat::kGIF,   CodingFormat::kTIFF};
+  return parse_enum(text, kAll);
+}
+
+std::optional<ColorDepth> parse_color_depth(std::string_view text) {
+  static constexpr ColorDepth kAll[] = {ColorDepth::kBlackWhite, ColorDepth::kGray,
+                                        ColorDepth::kColor, ColorDepth::kSuperColor};
+  if (iequals(text, "bw") || iequals(text, "black-white") || iequals(text, "blackwhite")) {
+    return ColorDepth::kBlackWhite;
+  }
+  if (iequals(text, "gray")) return ColorDepth::kGray;
+  if (iequals(text, "supercolor") || iequals(text, "super_color")) return ColorDepth::kSuperColor;
+  return parse_enum(text, kAll);
+}
+
+std::optional<AudioQuality> parse_audio_quality(std::string_view text) {
+  static constexpr AudioQuality kAll[] = {AudioQuality::kTelephone, AudioQuality::kRadio,
+                                          AudioQuality::kCD};
+  return parse_enum(text, kAll);
+}
+
+std::optional<Language> parse_language(std::string_view text) {
+  static constexpr Language kAll[] = {Language::kEnglish, Language::kFrench, Language::kGerman,
+                                      Language::kSpanish};
+  return parse_enum(text, kAll);
+}
+
+std::optional<GuaranteeClass> parse_guarantee_class(std::string_view text) {
+  static constexpr GuaranteeClass kAll[] = {GuaranteeClass::kBestEffort,
+                                            GuaranteeClass::kGuaranteed};
+  if (iequals(text, "besteffort") || iequals(text, "best_effort")) {
+    return GuaranteeClass::kBestEffort;
+  }
+  return parse_enum(text, kAll);
+}
+
+}  // namespace qosnp

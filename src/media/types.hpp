@@ -1,0 +1,86 @@
+// Media vocabulary for the news-on-demand prototype: media kinds, coding
+// formats, perceptual quality enumerations (paper Fig. 2), languages and
+// service-guarantee classes. These are the units both the user profile and
+// the variant metadata are expressed in.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace qosnp {
+
+/// The four monomedia kinds handled by the prototype (paper Sec. 2).
+enum class MediaKind : std::uint8_t { kVideo, kAudio, kText, kImage };
+
+/// Coding formats a variant can be stored in and a client decoder can
+/// accept (Step 2, static compatibility checking). Video formats mirror the
+/// 1996 prototype (MPEG player, MJPEG files); the rest are representative.
+enum class CodingFormat : std::uint8_t {
+  // Video.
+  kMPEG1,
+  kMPEG2,
+  kMJPEG,
+  kH261,
+  // Audio.
+  kPCM,
+  kADPCM,
+  kMPEGAudio,
+  // Text.
+  kPlainText,
+  kHTML,
+  // Image.
+  kJPEG,
+  kGIF,
+  kTIFF,
+};
+
+/// Colour quality ladder for video and still images (Fig. 2: super-colour,
+/// colour, grey, black&white). Ordered: a higher enum value is better.
+enum class ColorDepth : std::uint8_t { kBlackWhite = 0, kGray = 1, kColor = 2, kSuperColor = 3 };
+
+/// Audio quality ladder (Fig. 2 anchors: telephone, CD; radio added as the
+/// natural midpoint). Ordered: higher is better.
+enum class AudioQuality : std::uint8_t { kTelephone = 0, kRadio = 1, kCD = 2 };
+
+/// Text languages. The paper's importance example: "french is more
+/// important than english".
+enum class Language : std::uint8_t { kEnglish, kFrench, kGerman, kSpanish };
+
+/// Transport/server service classes considered in the cost model (Sec. 7).
+enum class GuaranteeClass : std::uint8_t { kBestEffort, kGuaranteed };
+
+/// Which media kind a coding format carries.
+MediaKind media_kind_of(CodingFormat format);
+
+/// Nominal audio sampling rate for a quality level (Hz).
+int sample_rate_hz(AudioQuality quality);
+/// Nominal audio sample size for a quality level (bits per sample, mono).
+int bits_per_sample(AudioQuality quality);
+
+std::string_view to_string(MediaKind kind);
+std::string_view to_string(CodingFormat format);
+std::string_view to_string(ColorDepth depth);
+std::string_view to_string(AudioQuality quality);
+std::string_view to_string(Language language);
+std::string_view to_string(GuaranteeClass klass);
+
+std::optional<MediaKind> parse_media_kind(std::string_view text);
+std::optional<CodingFormat> parse_coding_format(std::string_view text);
+std::optional<ColorDepth> parse_color_depth(std::string_view text);
+std::optional<AudioQuality> parse_audio_quality(std::string_view text);
+std::optional<Language> parse_language(std::string_view text);
+std::optional<GuaranteeClass> parse_guarantee_class(std::string_view text);
+
+/// Fig. 2 bounds the user can select: frame rate between frozen (1 fps) and
+/// HDTV (60 fps); resolution between minimal (10 pixels/line) and HDTV
+/// (1920 pixels/line).
+inline constexpr int kFrozenFrameRate = 1;
+inline constexpr int kTvFrameRate = 25;
+inline constexpr int kHdtvFrameRate = 60;
+inline constexpr int kMinResolution = 10;
+inline constexpr int kTvResolution = 640;
+inline constexpr int kHdtvResolution = 1920;
+
+}  // namespace qosnp

@@ -1,0 +1,94 @@
+#include "profile/profile_manager.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "profile/serialize.hpp"
+
+namespace qosnp {
+
+ProfileManager::ProfileManager() {
+  UserProfile def = default_user_profile();
+  default_name_ = def.name;
+  profiles_[def.name] = std::move(def);
+}
+
+Result<bool> ProfileManager::save(const UserProfile& profile) {
+  const auto problems = validate(profile);
+  if (!problems.empty()) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      if (i) os << "; ";
+      os << problems[i];
+    }
+    return Err(os.str());
+  }
+  std::lock_guard lk(mu_);
+  profiles_[profile.name] = profile;
+  return true;
+}
+
+bool ProfileManager::remove(const std::string& name) {
+  std::lock_guard lk(mu_);
+  if (name == default_name_) return false;
+  return profiles_.erase(name) > 0;
+}
+
+std::optional<UserProfile> ProfileManager::find(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  auto it = profiles_.find(name);
+  if (it == profiles_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> ProfileManager::list() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(profiles_.size());
+  for (const auto& [name, _] : profiles_) names.push_back(name);
+  return names;
+}
+
+bool ProfileManager::set_default(const std::string& name) {
+  std::lock_guard lk(mu_);
+  if (!profiles_.contains(name)) return false;
+  default_name_ = name;
+  return true;
+}
+
+UserProfile ProfileManager::default_profile() const {
+  std::lock_guard lk(mu_);
+  auto it = profiles_.find(default_name_);
+  return it == profiles_.end() ? default_user_profile() : it->second;
+}
+
+Result<bool> ProfileManager::save_to_file(const std::string& path) const {
+  std::ostringstream os;
+  {
+    std::lock_guard lk(mu_);
+    os << "# qosnp user profiles (default: " << default_name_ << ")\n";
+    for (const auto& [_, p] : profiles_) {
+      os << '\n' << to_text(p);
+    }
+  }
+  std::ofstream out(path);
+  if (!out) return Err("cannot open '" + path + "' for writing");
+  out << os.str();
+  return true;
+}
+
+Result<bool> ProfileManager::load_from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Err("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = parse_profiles(buffer.str());
+  if (!parsed.ok()) return Err(parsed.error());
+  std::lock_guard lk(mu_);
+  for (UserProfile& p : parsed.value()) {
+    profiles_[p.name] = std::move(p);
+  }
+  return true;
+}
+
+}  // namespace qosnp

@@ -1,0 +1,48 @@
+// Profile manager (paper Sec. 3/8): the component responsible for user
+// profile management. The Motif windows of the prototype are replaced by a
+// programmatic API (used by the CLI profile tool) over the same operations:
+// select, create, modify ("Save"/"Save as"), delete, set-default, and
+// persistence.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "profile/profiles.hpp"
+#include "util/result.hpp"
+
+namespace qosnp {
+
+class ProfileManager {
+ public:
+  /// Starts with the built-in default profile loaded.
+  ProfileManager();
+
+  /// Create or overwrite ("Save as" / "Save") a named profile. Rejects
+  /// profiles that fail validation, returning the problem list joined.
+  Result<bool> save(const UserProfile& profile);
+
+  /// Delete a profile; the default profile cannot be deleted.
+  bool remove(const std::string& name);
+
+  std::optional<UserProfile> find(const std::string& name) const;
+  std::vector<std::string> list() const;
+
+  /// Mark a profile as the session default (preselected in the GUI).
+  bool set_default(const std::string& name);
+  UserProfile default_profile() const;
+
+  /// Persist all profiles to / load from a text file (serialize.hpp format).
+  Result<bool> save_to_file(const std::string& path) const;
+  Result<bool> load_from_file(const std::string& path);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, UserProfile> profiles_;
+  std::string default_name_;
+};
+
+}  // namespace qosnp

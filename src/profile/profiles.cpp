@@ -1,0 +1,83 @@
+#include "profile/profiles.hpp"
+
+#include <algorithm>
+
+namespace qosnp {
+
+bool TextProfile::tolerates(const TextQoS& offered) const {
+  if (offered.language == desired) return true;
+  return std::find(acceptable.begin(), acceptable.end(), offered.language) != acceptable.end();
+}
+
+bool MMProfile::wants(MediaKind kind) const {
+  switch (kind) {
+    case MediaKind::kVideo: return video.has_value();
+    case MediaKind::kAudio: return audio.has_value();
+    case MediaKind::kText: return text.has_value();
+    case MediaKind::kImage: return image.has_value();
+  }
+  return false;
+}
+
+UserProfile default_user_profile() {
+  UserProfile p;
+  p.name = "default";
+  VideoProfile video;
+  video.desired = VideoQoS{ColorDepth::kColor, kTvFrameRate, kTvResolution};
+  video.worst = VideoQoS{ColorDepth::kGray, 10, 320};
+  p.mm.video = video;
+  AudioProfile audio;
+  audio.desired = AudioQoS{AudioQuality::kCD};
+  audio.worst = AudioQoS{AudioQuality::kTelephone};
+  p.mm.audio = audio;
+  TextProfile text;
+  text.desired = Language::kEnglish;
+  text.acceptable = {Language::kFrench};
+  p.mm.text = text;
+  ImageProfile image;
+  image.desired = ImageQoS{ColorDepth::kColor, kTvResolution};
+  image.worst = ImageQoS{ColorDepth::kGray, 320};
+  p.mm.image = image;
+  p.mm.cost.max_cost = Money::dollars(8);
+  p.mm.time = TimeProfile{};
+  p.importance = ImportanceProfile::defaults();
+  return p;
+}
+
+std::vector<std::string> validate(const UserProfile& profile) {
+  std::vector<std::string> problems;
+  if (profile.name.empty()) problems.push_back("profile has an empty name");
+  if (profile.mm.video && !profile.mm.video->well_formed()) {
+    problems.push_back("video profile: worst acceptable exceeds desired");
+  }
+  if (profile.mm.audio && !profile.mm.audio->well_formed()) {
+    problems.push_back("audio profile: worst acceptable exceeds desired");
+  }
+  if (profile.mm.image && !profile.mm.image->well_formed()) {
+    problems.push_back("image profile: worst acceptable exceeds desired");
+  }
+  if (profile.mm.video) {
+    const VideoQoS d = profile.mm.video->desired;
+    if (d.frame_rate_fps < kFrozenFrameRate || d.frame_rate_fps > kHdtvFrameRate) {
+      problems.push_back("video profile: desired frame rate outside [1, 60] fps");
+    }
+    if (d.resolution < kMinResolution || d.resolution > kHdtvResolution) {
+      problems.push_back("video profile: desired resolution outside [10, 1920] pixels/line");
+    }
+  }
+  if (profile.mm.cost.max_cost.is_negative()) {
+    problems.push_back("cost profile: negative maximum cost");
+  }
+  if (profile.mm.time.delivery_time_s <= 0.0) {
+    problems.push_back("time profile: non-positive delivery time");
+  }
+  if (profile.mm.time.choice_period_s <= 0.0) {
+    problems.push_back("time profile: non-positive choice period");
+  }
+  if (!profile.mm.video && !profile.mm.audio && !profile.mm.text && !profile.mm.image) {
+    problems.push_back("profile requests no media at all");
+  }
+  return problems;
+}
+
+}  // namespace qosnp

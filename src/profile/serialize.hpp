@@ -1,0 +1,22 @@
+// Text (de)serialisation of user profiles. The 1996 prototype persisted
+// profiles behind the Motif GUI; here a line-oriented "key = value" format
+// keeps profiles inspectable and editable with any editor, and the CLI
+// profile tool (examples/profile_tool) plays the GUI's role on top of it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "profile/profiles.hpp"
+#include "util/result.hpp"
+
+namespace qosnp {
+
+/// Render one profile as text (round-trips through parse_profiles).
+std::string to_text(const UserProfile& profile);
+
+/// Parse one or more profiles from text. Each profile starts with a
+/// "profile = <name>" line; unknown keys are reported as errors.
+Result<std::vector<UserProfile>> parse_profiles(const std::string& text);
+
+}  // namespace qosnp

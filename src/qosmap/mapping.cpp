@@ -1,0 +1,64 @@
+#include "qosmap/mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace qosnp {
+
+std::string StreamRequirements::describe() const {
+  std::ostringstream os;
+  os << "max " << max_bit_rate_bps / 1000 << " kbit/s, avg " << avg_bit_rate_bps / 1000
+     << " kbit/s, jitter " << jitter_ms << " ms, loss " << loss_rate << ", "
+     << to_string(guarantee);
+  return os.str();
+}
+
+MediumTargets medium_targets(MediaKind kind) {
+  switch (kind) {
+    case MediaKind::kVideo:
+      // Values for video from [Ste 90] as quoted in the paper.
+      return {10.0, 0.003, 250.0};
+    case MediaKind::kAudio:
+      return {5.0, 0.001, 150.0};
+    case MediaKind::kText:
+      return {0.0, 0.0, 1000.0};
+    case MediaKind::kImage:
+      return {0.0, 0.0, 1000.0};
+  }
+  return {0.0, 0.0, 1000.0};
+}
+
+StreamRequirements map_variant(const Variant& variant, double duration_s,
+                               const TimeProfile& time) {
+  StreamRequirements req;
+  const MediaKind kind = variant.kind();
+  const MediumTargets targets = medium_targets(kind);
+  req.jitter_ms = targets.jitter_ms;
+  req.loss_rate = targets.loss_rate;
+  req.delay_ms = targets.delay_ms;
+
+  const bool continuous = kind == MediaKind::kVideo || kind == MediaKind::kAudio;
+  if (continuous) {
+    req.max_bit_rate_bps = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(variant.max_block_bytes) * 8.0 *
+                     variant.blocks_per_second));
+    req.avg_bit_rate_bps = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(variant.avg_block_bytes) * 8.0 *
+                     variant.blocks_per_second));
+    req.guarantee = GuaranteeClass::kGuaranteed;
+    req.duration_s = duration_s;
+  } else {
+    // Discrete media: the whole file within the delivery deadline.
+    const double deadline = std::max(0.1, time.delivery_time_s);
+    const std::int64_t rate = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(variant.file_bytes) * 8.0 / deadline));
+    req.max_bit_rate_bps = std::max<std::int64_t>(1, rate);
+    req.avg_bit_rate_bps = req.max_bit_rate_bps;
+    req.guarantee = GuaranteeClass::kBestEffort;
+    req.duration_s = deadline;
+  }
+  return req;
+}
+
+}  // namespace qosnp

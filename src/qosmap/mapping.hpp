@@ -1,0 +1,50 @@
+// QoS mapping (paper Sec. 6): translate the user-perceived QoS of a chosen
+// variant into the system QoS parameters the transport system and media
+// servers manage. For continuous media stored as a suite of blocks:
+//   maxBitRate = (maximum block length) x (block rate)
+//   avgBitRate = (average block length) x (block rate)
+// Jitter and loss-rate targets are the per-medium constants of [Ste 90]
+// cited by the paper (video: jitter 10 ms, loss rate 0.003). Discrete media
+// (text, still images) are delivered once; their bandwidth requirement
+// follows from the file size and the time profile's delivery deadline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "document/model.hpp"
+#include "media/types.hpp"
+#include "profile/profiles.hpp"
+
+namespace qosnp {
+
+/// System-level QoS parameters of one stream (one monomedia variant).
+struct StreamRequirements {
+  std::int64_t max_bit_rate_bps = 0;
+  std::int64_t avg_bit_rate_bps = 0;
+  double jitter_ms = 0.0;    ///< tolerable delay jitter
+  double loss_rate = 0.0;    ///< tolerable loss fraction
+  double delay_ms = 0.0;     ///< end-to-end delay bound
+  GuaranteeClass guarantee = GuaranteeClass::kGuaranteed;
+  double duration_s = 0.0;   ///< how long the reservation is held
+
+  std::string describe() const;
+};
+
+/// Per-medium jitter/loss/delay targets ([Ste 90] as cited in Sec. 6).
+struct MediumTargets {
+  double jitter_ms;
+  double loss_rate;
+  double delay_ms;
+};
+MediumTargets medium_targets(MediaKind kind);
+
+/// Map one variant to its stream requirements. `duration_s` is the playout
+/// duration of the owning monomedia; `time` supplies the delivery deadline
+/// for discrete media. Continuous media get a guaranteed service class;
+/// discrete media are best-effort (a late headline photo is tolerable, a
+/// stalled video is not).
+StreamRequirements map_variant(const Variant& variant, double duration_s,
+                               const TimeProfile& time);
+
+}  // namespace qosnp

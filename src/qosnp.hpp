@@ -1,0 +1,57 @@
+// qosnp — umbrella header.
+//
+// A C++20 reproduction of Hafid, Bochmann & Kerhervé, "A Quality of Service
+// Negotiation Procedure for Distributed Multimedia Presentational
+// Applications" (HPDC-5, 1996), together with every substrate the procedure
+// needs (simulated media file servers, a reservation-capable network,
+// client machine models, session management) and the framework extensions
+// the paper cites (future reservations, hierarchical multi-domain
+// negotiation) plus a block-level delivery validator.
+//
+// Typical entry points:
+//   Catalog               — the multimedia documents and their variants
+//   UserProfile           — desired / worst-acceptable QoS, cost, importance
+//   QoSManager::negotiate — the five-step negotiation procedure
+//   SessionManager        — confirmation (Step 6), playout, adaptation,
+//                           renegotiation
+//   run_experiment        — the discrete-event evaluation harness
+//
+// See README.md for a guided tour and DESIGN.md for the paper mapping.
+#pragma once
+
+#include "advance/calendar.hpp"      // IWYU pragma: export
+#include "advance/planner.hpp"       // IWYU pragma: export
+#include "baseline/negotiators.hpp"  // IWYU pragma: export
+#include "client/client_machine.hpp" // IWYU pragma: export
+#include "core/classify.hpp"         // IWYU pragma: export
+#include "core/commit.hpp"           // IWYU pragma: export
+#include "core/enumerate.hpp"        // IWYU pragma: export
+#include "core/offer.hpp"            // IWYU pragma: export
+#include "core/paper_example.hpp"    // IWYU pragma: export
+#include "core/qos_manager.hpp"      // IWYU pragma: export
+#include "core/report.hpp"           // IWYU pragma: export
+#include "cost/cost_model.hpp"       // IWYU pragma: export
+#include "delivery/playout.hpp"      // IWYU pragma: export
+#include "delivery/vbr_trace.hpp"    // IWYU pragma: export
+#include "document/catalog.hpp"      // IWYU pragma: export
+#include "document/corpus.hpp"       // IWYU pragma: export
+#include "document/model.hpp"        // IWYU pragma: export
+#include "document/serialize.hpp"    // IWYU pragma: export
+#include "domain/multi_domain.hpp"   // IWYU pragma: export
+#include "media/qos.hpp"             // IWYU pragma: export
+#include "media/types.hpp"           // IWYU pragma: export
+#include "net/topology.hpp"          // IWYU pragma: export
+#include "net/transport.hpp"         // IWYU pragma: export
+#include "profile/importance.hpp"    // IWYU pragma: export
+#include "profile/profile_manager.hpp"  // IWYU pragma: export
+#include "profile/profiles.hpp"      // IWYU pragma: export
+#include "profile/serialize.hpp"     // IWYU pragma: export
+#include "qosmap/mapping.hpp"        // IWYU pragma: export
+#include "server/media_server.hpp"   // IWYU pragma: export
+#include "session/session.hpp"       // IWYU pragma: export
+#include "sim/experiment.hpp"        // IWYU pragma: export
+#include "sim/metrics.hpp"           // IWYU pragma: export
+#include "sim/replicate.hpp"         // IWYU pragma: export
+#include "util/money.hpp"            // IWYU pragma: export
+#include "util/result.hpp"           // IWYU pragma: export
+#include "util/rng.hpp"              // IWYU pragma: export

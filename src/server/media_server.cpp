@@ -1,0 +1,130 @@
+#include "server/media_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/log.hpp"
+
+namespace qosnp {
+
+MediaServer::MediaServer(MediaServerConfig config)
+    : config_(std::move(config)), effective_bandwidth_(config_.disk_bandwidth_bps) {}
+
+Result<StreamId> MediaServer::admit(const StreamRequirements& req) {
+  const std::int64_t rate = req.guarantee == GuaranteeClass::kGuaranteed ? req.max_bit_rate_bps
+                                                                         : req.avg_bit_rate_bps;
+  if (rate <= 0) return Err("non-positive bit rate");
+  std::lock_guard lk(mu_);
+  if (failed_) return Err("server '" + config_.id + "' is down");
+  if (static_cast<int>(streams_.size()) >= config_.max_sessions) {
+    return Err("server '" + config_.id + "' has no free session slot");
+  }
+  if (reserved_ + rate > effective_bandwidth_) {
+    return Err("server '" + config_.id + "' has insufficient disk bandwidth");
+  }
+  reserved_ += rate;
+  const StreamId id = next_id_++;
+  streams_[id] = rate;
+  QOSNP_LOG_DEBUG("server", config_.id, ": admitted stream ", id, " at ", rate, " bps");
+  return id;
+}
+
+bool MediaServer::release(StreamId id) {
+  std::lock_guard lk(mu_);
+  auto it = streams_.find(id);
+  if (it == streams_.end()) return false;
+  reserved_ -= it->second;
+  streams_.erase(it);
+  return true;
+}
+
+ServerUsage MediaServer::usage() const {
+  std::lock_guard lk(mu_);
+  ServerUsage u;
+  u.disk_bandwidth_bps = config_.disk_bandwidth_bps;
+  u.effective_bandwidth_bps = effective_bandwidth_;
+  u.reserved_bps = reserved_;
+  u.sessions = static_cast<int>(streams_.size());
+  u.max_sessions = config_.max_sessions;
+  u.failed = failed_;
+  return u;
+}
+
+std::vector<StreamId> MediaServer::fail() {
+  std::lock_guard lk(mu_);
+  failed_ = true;
+  std::vector<StreamId> affected;
+  affected.reserve(streams_.size());
+  for (const auto& [id, _] : streams_) affected.push_back(id);
+  std::sort(affected.begin(), affected.end());
+  return affected;
+}
+
+void MediaServer::recover() {
+  std::lock_guard lk(mu_);
+  failed_ = false;
+}
+
+bool MediaServer::failed() const {
+  std::lock_guard lk(mu_);
+  return failed_;
+}
+
+std::vector<StreamId> MediaServer::overfull_victims_locked() {
+  std::vector<std::pair<StreamId, std::int64_t>> by_recency(streams_.begin(), streams_.end());
+  std::sort(by_recency.begin(), by_recency.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::int64_t excess = reserved_ - effective_bandwidth_;
+  std::vector<StreamId> victims;
+  for (const auto& [id, rate] : by_recency) {
+    if (excess <= 0) break;
+    victims.push_back(id);
+    excess -= rate;
+  }
+  return victims;
+}
+
+std::vector<StreamId> MediaServer::degrade(double lost_fraction) {
+  lost_fraction = std::clamp(lost_fraction, 0.0, 0.999);
+  std::lock_guard lk(mu_);
+  effective_bandwidth_ = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(config_.disk_bandwidth_bps) * (1.0 - lost_fraction)));
+  return overfull_victims_locked();
+}
+
+void MediaServer::restore() {
+  std::lock_guard lk(mu_);
+  effective_bandwidth_ = config_.disk_bandwidth_bps;
+}
+
+bool ServerFarm::add(MediaServerConfig config) {
+  std::lock_guard lk(mu_);
+  if (servers_.contains(config.id)) return false;
+  ServerId id = config.id;
+  servers_[id] = std::make_unique<MediaServer>(std::move(config));
+  return true;
+}
+
+MediaServer* ServerFarm::find(const ServerId& id) {
+  std::lock_guard lk(mu_);
+  auto it = servers_.find(id);
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+const MediaServer* ServerFarm::find(const ServerId& id) const {
+  std::lock_guard lk(mu_);
+  auto it = servers_.find(id);
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<ServerId> ServerFarm::list() const {
+  std::lock_guard lk(mu_);
+  std::vector<ServerId> ids;
+  ids.reserve(servers_.size());
+  for (const auto& [id, _] : servers_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace qosnp

@@ -1,0 +1,285 @@
+#include "session/session.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace qosnp {
+
+std::string_view to_string(SessionState state) {
+  switch (state) {
+    case SessionState::kPendingConfirmation: return "pending-confirmation";
+    case SessionState::kPlaying: return "playing";
+    case SessionState::kCompleted: return "completed";
+    case SessionState::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+void SessionManager::index_commitment_locked(Session& s) {
+  for (FlowId flow : s.commitment.flow_ids()) flow_index_[flow] = s.id;
+}
+
+void SessionManager::unindex_commitment_locked(Session& s) {
+  for (FlowId flow : s.commitment.flow_ids()) flow_index_.erase(flow);
+}
+
+void SessionManager::finish_locked(Session& s, SessionState state, const std::string& reason) {
+  unindex_commitment_locked(s);
+  s.commitment.release();
+  s.state = state;
+  s.abort_reason = reason;
+}
+
+Result<SessionId> SessionManager::open(const ClientMachine& client, const UserProfile& profile,
+                                       NegotiationOutcome&& outcome, double now_s) {
+  if (!outcome.has_commitment()) {
+    return Err(std::string("negotiation outcome carries no committed offer"));
+  }
+  std::lock_guard lk(mu_);
+  auto session = std::make_unique<Session>();
+  session->id = next_id_++;
+  session->client = client;
+  session->profile = profile;
+  session->offers = std::move(outcome.offers);
+  session->current_offer = outcome.committed_index;
+  session->tried.push_back(outcome.committed_index);
+  session->commitment = std::move(outcome.commitment);
+  session->state = SessionState::kPendingConfirmation;
+  session->confirm_deadline_s = now_s + profile.mm.time.choice_period_s;
+  session->duration_s = session->offers.document ? session->offers.document->duration_s() : 0.0;
+  session->stats.charged = session->committed().total_cost();
+  index_commitment_locked(*session);
+  const SessionId id = session->id;
+  sessions_[id] = std::move(session);
+  return id;
+}
+
+Result<bool> SessionManager::confirm(SessionId id, double now_s) {
+  std::lock_guard lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return Err(std::string("unknown session"));
+  Session& s = *it->second;
+  if (s.state != SessionState::kPendingConfirmation) {
+    return Err("session is " + std::string(to_string(s.state)));
+  }
+  if (now_s > s.confirm_deadline_s) {
+    // choicePeriod expired: the session is simply aborted and a new
+    // negotiation is required (paper Sec. 8, information window).
+    finish_locked(s, SessionState::kAborted, "choice period expired");
+    return Err(std::string("choice period expired; resources de-allocated"));
+  }
+  s.state = SessionState::kPlaying;
+  return true;
+}
+
+bool SessionManager::reject(SessionId id) {
+  std::lock_guard lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  Session& s = *it->second;
+  if (s.state != SessionState::kPendingConfirmation) return false;
+  finish_locked(s, SessionState::kAborted, "offer rejected by the user");
+  return true;
+}
+
+void SessionManager::advance(SessionId id, double dt_s) {
+  std::lock_guard lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  Session& s = *it->second;
+  if (s.state != SessionState::kPlaying) return;
+  s.position_s = std::min(s.duration_s, s.position_s + dt_s);
+  if (s.position_s >= s.duration_s) {
+    finish_locked(s, SessionState::kCompleted, "");
+  }
+}
+
+AdaptationResult SessionManager::adapt(SessionId id, double /*now_s*/) {
+  AdaptationResult result;
+  std::lock_guard lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    result.errors.push_back("unknown session");
+    return result;
+  }
+  Session& s = *it->second;
+  if (s.state != SessionState::kPlaying) {
+    result.errors.push_back("session is " + std::string(to_string(s.state)));
+    return result;
+  }
+
+  // The ordered set of system offers, except the one in difficulty (and,
+  // under the stricter policy, every offer already tried).
+  std::vector<std::size_t> exclude;
+  if (policy_.exclude_all_tried) {
+    exclude = s.tried;
+  } else {
+    exclude.push_back(s.current_offer);
+  }
+
+  CommitAttempt attempt;
+  if (policy_.make_before_break) {
+    attempt = manager_->commit_first(s.client, s.offers, s.profile.mm, exclude);
+    if (attempt.ok()) {
+      unindex_commitment_locked(s);
+      s.commitment = std::move(attempt.commitment);  // old reservations release here
+    }
+  } else {
+    // The paper's literal transition: stop (release) first, then re-run
+    // Step 5 on the remaining offers.
+    unindex_commitment_locked(s);
+    s.commitment.release();
+    attempt = manager_->commit_first(s.client, s.offers, s.profile.mm, exclude);
+    if (attempt.ok()) s.commitment = std::move(attempt.commitment);
+  }
+
+  if (!attempt.ok()) {
+    s.stats.failed_adaptations += 1;
+    result.errors = std::move(attempt.errors);
+    finish_locked(s, SessionState::kAborted, "no alternate configuration available");
+    QOSNP_LOG_INFO("adapt", "session ", id, " aborted: no alternate configuration");
+    return result;
+  }
+
+  s.current_offer = attempt.index;
+  if (std::find(s.tried.begin(), s.tried.end(), attempt.index) == s.tried.end()) {
+    s.tried.push_back(attempt.index);
+  }
+  index_commitment_locked(s);
+  s.stats.transitions += 1;
+  s.stats.interrupted_s += policy_.transition_latency_s;
+  s.stats.charged = s.committed().total_cost();
+  result.adapted = true;
+  result.new_offer = attempt.index;
+  result.interruption_s = policy_.transition_latency_s;
+  QOSNP_LOG_INFO("adapt", "session ", id, " transitioned to offer ", attempt.index,
+                 " at position ", s.position_s, "s");
+  return result;
+}
+
+RenegotiationResult SessionManager::renegotiate(SessionId id, const UserProfile& new_profile,
+                                                double /*now_s*/) {
+  RenegotiationResult result;
+  std::lock_guard lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    result.problems.push_back("unknown session");
+    return result;
+  }
+  Session& s = *it->second;
+  if (s.state != SessionState::kPlaying && s.state != SessionState::kPendingConfirmation) {
+    result.problems.push_back("session is " + std::string(to_string(s.state)));
+    return result;
+  }
+
+  NegotiationOutcome outcome =
+      manager_->negotiate_document(s.client, s.offers.document, new_profile);
+  result.status = outcome.status;
+  result.problems = outcome.problems;
+  if (!outcome.has_commitment()) {
+    // Nothing could be committed: the session keeps its current
+    // configuration untouched (the old commitment was never released).
+    if (outcome.user_offer) result.offer = outcome.user_offer;
+    return result;
+  }
+
+  unindex_commitment_locked(s);
+  s.offers = std::move(outcome.offers);
+  s.current_offer = outcome.committed_index;
+  s.tried.assign(1, outcome.committed_index);
+  s.commitment = std::move(outcome.commitment);  // old reservations release here
+  s.profile = new_profile;
+  index_commitment_locked(s);
+  s.stats.renegotiations += 1;
+  s.stats.interrupted_s += policy_.transition_latency_s;
+  s.stats.charged = s.committed().total_cost();
+  result.switched = true;
+  result.offer = derive_user_offer(s.committed());
+  QOSNP_LOG_INFO("renegotiate", "session ", id, " switched to ", result.offer->describe());
+  return result;
+}
+
+void SessionManager::complete(SessionId id) {
+  std::lock_guard lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  finish_locked(*it->second, SessionState::kCompleted, "");
+}
+
+void SessionManager::abort(SessionId id, const std::string& reason) {
+  std::lock_guard lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  finish_locked(*it->second, SessionState::kAborted, reason);
+}
+
+std::optional<SessionView> SessionManager::snapshot(SessionId id) const {
+  std::lock_guard lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return std::nullopt;
+  const Session& s = *it->second;
+  SessionView view;
+  view.id = s.id;
+  view.state = s.state;
+  view.current_offer = s.current_offer;
+  view.offer_count = s.offers.offers.size();
+  view.position_s = s.position_s;
+  view.duration_s = s.duration_s;
+  view.confirm_deadline_s = s.confirm_deadline_s;
+  view.stats = s.stats;
+  view.abort_reason = s.abort_reason;
+  if (s.current_offer != SIZE_MAX) {
+    view.user_offer = derive_user_offer(s.committed());
+  }
+  return view;
+}
+
+std::size_t SessionManager::active_count() const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const auto& [_, s] : sessions_) {
+    if (s->state == SessionState::kPlaying || s->state == SessionState::kPendingConfirmation) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<SessionId> SessionManager::playing_sessions() const {
+  std::lock_guard lk(mu_);
+  std::vector<SessionId> out;
+  for (const auto& [id, s] : sessions_) {
+    if (s->state == SessionState::kPlaying) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SessionId> SessionManager::sessions_using_flow(FlowId flow) const {
+  std::lock_guard lk(mu_);
+  auto it = flow_index_.find(flow);
+  if (it == flow_index_.end()) return {};
+  return {it->second};
+}
+
+std::vector<SessionId> SessionManager::sessions_on_server(const ServerId& server) const {
+  std::lock_guard lk(mu_);
+  std::vector<SessionId> out;
+  for (const auto& [id, s] : sessions_) {
+    if (s->state != SessionState::kPlaying && s->state != SessionState::kPendingConfirmation) {
+      continue;
+    }
+    if (s->current_offer == SIZE_MAX) continue;
+    for (const OfferComponent& c : s->committed().components) {
+      if (c.variant->server == server) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace qosnp

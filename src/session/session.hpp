@@ -1,0 +1,169 @@
+// Session management: Step 6 of the negotiation procedure (user
+// confirmation within choicePeriod, resources de-allocated on timeout or
+// rejection) and the adaptation procedure of paper Sec. 4 — on a QoS
+// violation the QoS manager "considers the ordered set of system offers,
+// except the current one (which is in difficulty), and executes Step 5",
+// then transitions the playout: stop, note the current position, restart
+// from that position on the alternate configuration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "client/client_machine.hpp"
+#include "core/qos_manager.hpp"
+#include "profile/profiles.hpp"
+
+namespace qosnp {
+
+using SessionId = std::uint64_t;
+
+enum class SessionState {
+  kPendingConfirmation,  ///< resources reserved, awaiting the user (Step 6)
+  kPlaying,
+  kCompleted,
+  kAborted,
+};
+
+std::string_view to_string(SessionState state);
+
+struct SessionStats {
+  int transitions = 0;  ///< successful adaptations
+  int failed_adaptations = 0;
+  int renegotiations = 0;  ///< successful user-driven renegotiations
+  double interrupted_s = 0.0;  ///< total playout interruption
+  Money charged;               ///< cost of the currently committed offer
+};
+
+/// One delivery session (internal representation; move-only because it owns
+/// the commitment).
+struct Session {
+  SessionId id = 0;
+  ClientMachine client;
+  UserProfile profile;
+  OfferList offers;  ///< ordered; kept alive for adaptation
+  std::size_t current_offer = SIZE_MAX;
+  std::vector<std::size_t> tried;  ///< offer indices already used
+  Commitment commitment;
+  SessionState state = SessionState::kPendingConfirmation;
+  double confirm_deadline_s = 0.0;
+  double position_s = 0.0;  ///< current playout position
+  double duration_s = 0.0;
+  SessionStats stats;
+  std::string abort_reason;
+
+  const SystemOffer& committed() const { return offers.offers[current_offer]; }
+};
+
+/// Copyable snapshot exposed to callers.
+struct SessionView {
+  SessionId id = 0;
+  SessionState state = SessionState::kAborted;
+  std::size_t current_offer = SIZE_MAX;
+  std::size_t offer_count = 0;
+  double position_s = 0.0;
+  double duration_s = 0.0;
+  double confirm_deadline_s = 0.0;
+  SessionStats stats;
+  std::string abort_reason;
+  std::optional<UserOffer> user_offer;
+};
+
+struct AdaptationPolicy {
+  /// Make-before-break: reserve the alternate configuration before
+  /// releasing the one in difficulty. The default (off) is the paper's
+  /// literal stop-then-restart transition, which also frees the degraded
+  /// link's capacity so a leaner variant can fit through it; on = the
+  /// seamless variant, which can only adapt around (not through) an
+  /// oversubscribed resource.
+  bool make_before_break = false;
+  /// Exclude every previously-tried offer, not just the current one (the
+  /// paper excludes only the current offer).
+  bool exclude_all_tried = false;
+  /// Fixed transition cost added to the session's interruption time
+  /// (stop + reposition + restart, paper's simple transition procedure).
+  double transition_latency_s = 0.5;
+};
+
+struct AdaptationResult {
+  bool adapted = false;
+  std::size_t new_offer = SIZE_MAX;
+  double interruption_s = 0.0;
+  std::vector<std::string> errors;
+};
+
+/// Outcome of a user-driven renegotiation of a live session.
+struct RenegotiationResult {
+  bool switched = false;  ///< the session now plays the new configuration
+  NegotiationStatus status = NegotiationStatus::kFailedTryLater;
+  std::optional<UserOffer> offer;  ///< the configuration now playing (on success)
+  std::vector<std::string> problems;
+};
+
+class SessionManager {
+ public:
+  SessionManager(QoSManager& manager, AdaptationPolicy policy = {})
+      : manager_(&manager), policy_(policy) {}
+
+  /// Admit the result of a successful negotiation (SUCCEEDED, or
+  /// FAILEDWITHOFFER when the user opts into the degraded offer). The
+  /// session starts pending confirmation with deadline now + choicePeriod.
+  Result<SessionId> open(const ClientMachine& client, const UserProfile& profile,
+                         NegotiationOutcome&& outcome, double now_s);
+
+  /// Step 6: the user accepts the offer. Fails (and releases resources)
+  /// when the choice period already expired.
+  Result<bool> confirm(SessionId id, double now_s);
+  /// Step 6: the user rejects the offer; resources are de-allocated.
+  bool reject(SessionId id);
+
+  /// Advance playout position; completes the session at its duration.
+  void advance(SessionId id, double dt_s);
+
+  /// The adaptation procedure, triggered by a QoS violation on the
+  /// session's current configuration. Aborts the session when no alternate
+  /// configuration can be committed.
+  AdaptationResult adapt(SessionId id, double now_s);
+
+  /// User-driven renegotiation (paper Sec. 8: "the procedure can be used
+  /// for negotiation, renegotiation, and adaptation with almost no
+  /// modifications"): re-run the negotiation with a new profile against the
+  /// session's document, and — if a configuration is committed —
+  /// transition the playout to it from the current position. Uses
+  /// make-before-break regardless of the adaptation policy: if nothing can
+  /// be committed, the session keeps playing its current configuration.
+  RenegotiationResult renegotiate(SessionId id, const UserProfile& new_profile, double now_s);
+
+  /// Normal end / external abort.
+  void complete(SessionId id);
+  void abort(SessionId id, const std::string& reason);
+
+  std::optional<SessionView> snapshot(SessionId id) const;
+  std::size_t active_count() const;
+  /// Ids of sessions currently playing (sorted).
+  std::vector<SessionId> playing_sessions() const;
+
+  /// Violation routing: which session holds a given transport flow.
+  std::vector<SessionId> sessions_using_flow(FlowId flow) const;
+  /// Which playing sessions hold streams on a given (possibly failed) server.
+  std::vector<SessionId> sessions_on_server(const ServerId& server) const;
+
+ private:
+  void index_commitment_locked(Session& s);
+  void unindex_commitment_locked(Session& s);
+  void finish_locked(Session& s, SessionState state, const std::string& reason);
+
+  mutable std::mutex mu_;
+  QoSManager* manager_;
+  AdaptationPolicy policy_;
+  std::unordered_map<SessionId, std::unique_ptr<Session>> sessions_;
+  std::unordered_map<FlowId, SessionId> flow_index_;
+  SessionId next_id_ = 1;
+};
+
+}  // namespace qosnp

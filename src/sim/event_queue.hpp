@@ -1,0 +1,69 @@
+// Discrete-event simulation core: a clock plus a time-ordered event queue.
+// Events scheduled at equal times fire in scheduling order (a stable
+// sequence number breaks ties), which keeps every experiment run exactly
+// reproducible for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace qosnp {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Schedule `handler` at absolute time `at` (clamped to now()).
+  void schedule_at(double at, Handler handler) {
+    if (at < now_) at = now_;
+    heap_.push(Event{at, next_seq_++, std::move(handler)});
+  }
+  /// Schedule `handler` `delay` seconds from now.
+  void schedule_in(double delay, Handler handler) {
+    schedule_at(now_ + (delay > 0 ? delay : 0), std::move(handler));
+  }
+
+  /// Run the earliest event; returns false when the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.at;
+    ev.handler();
+    return true;
+  }
+
+  /// Run events until the queue drains or the clock passes `deadline`.
+  void run_until(double deadline) {
+    while (!heap_.empty() && heap_.top().at <= deadline) step();
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  void run_all() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct Event {
+    double at;
+    std::uint64_t seq;
+    Handler handler;
+
+    bool operator>(const Event& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace qosnp

@@ -1,0 +1,99 @@
+// Experiment metrics: what the evaluation benches report. The paper's
+// system-level claims are qualitative ("increases the availability of the
+// system and the user satisfaction", Sec. 8); these counters quantify them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "core/offer.hpp"
+#include "util/money.hpp"
+
+namespace qosnp {
+
+struct SimMetrics {
+  // Negotiation outcomes.
+  std::size_t arrivals = 0;
+  std::array<std::size_t, 5> by_status{};  ///< indexed by NegotiationStatus
+
+  // Session lifecycle.
+  std::size_t confirmed = 0;
+  std::size_t confirm_timeouts = 0;
+  std::size_t rejected_by_user = 0;
+  std::size_t completed = 0;
+  std::size_t aborted = 0;
+
+  // Adaptation.
+  std::size_t violations = 0;
+  std::size_t adaptations = 0;
+  std::size_t failed_adaptations = 0;
+  double total_interruption_s = 0.0;
+
+  // Renegotiation (user-driven mid-session profile changes).
+  std::size_t renegotiations = 0;
+  std::size_t failed_renegotiations = 0;
+
+  // Playout quality sampling (block-level delivery of completed sessions).
+  std::size_t playout_sampled_streams = 0;
+  std::size_t playout_stalled_streams = 0;
+  double playout_stall_s_total = 0.0;
+
+  // Economics & performance.
+  Money revenue;  ///< charges of completed sessions
+  double negotiation_ms_total = 0.0;
+  double utilization_sum = 0.0;  ///< mean link utilisation samples
+  std::size_t utilization_samples = 0;
+
+  std::size_t count(NegotiationStatus status) const {
+    return by_status[static_cast<std::size_t>(status)];
+  }
+  void record(NegotiationStatus status) {
+    ++by_status[static_cast<std::size_t>(status)];
+  }
+
+  /// Blocking probability: requests turned away for lack of resources.
+  double blocking_probability() const {
+    return arrivals == 0
+               ? 0.0
+               : static_cast<double>(count(NegotiationStatus::kFailedTryLater)) /
+                     static_cast<double>(arrivals);
+  }
+  /// Fraction of arrivals that were served with their full requirements.
+  double satisfaction() const {
+    return arrivals == 0 ? 0.0
+                         : static_cast<double>(count(NegotiationStatus::kSucceeded)) /
+                               static_cast<double>(arrivals);
+  }
+  /// Fraction of arrivals served at all (full or degraded offer).
+  double service_rate() const {
+    return arrivals == 0
+               ? 0.0
+               : static_cast<double>(count(NegotiationStatus::kSucceeded) +
+                                     count(NegotiationStatus::kFailedWithOffer)) /
+                     static_cast<double>(arrivals);
+  }
+  double adaptation_success_rate() const {
+    const std::size_t attempts = adaptations + failed_adaptations;
+    return attempts == 0 ? 1.0
+                         : static_cast<double>(adaptations) / static_cast<double>(attempts);
+  }
+  double mean_negotiation_ms() const {
+    return arrivals == 0 ? 0.0 : negotiation_ms_total / static_cast<double>(arrivals);
+  }
+  double mean_utilization() const {
+    return utilization_samples == 0 ? 0.0
+                                    : utilization_sum / static_cast<double>(utilization_samples);
+  }
+  /// Fraction of sampled streams whose block-level playout stalled.
+  double playout_stall_rate() const {
+    return playout_sampled_streams == 0
+               ? 0.0
+               : static_cast<double>(playout_stalled_streams) /
+                     static_cast<double>(playout_sampled_streams);
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace qosnp

@@ -1,0 +1,77 @@
+// Multi-seed replication of experiments: run the same configuration under
+// several RNG seeds and report mean and sample standard deviation of the
+// headline metrics, so the bench tables carry error bars instead of
+// single-draw point estimates.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace qosnp {
+
+struct ReplicatedStat {
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  static ReplicatedStat of(const std::vector<double>& samples) {
+    ReplicatedStat stat;
+    if (samples.empty()) return stat;
+    double sum = 0.0;
+    for (double s : samples) sum += s;
+    stat.mean = sum / static_cast<double>(samples.size());
+    if (samples.size() > 1) {
+      double sq = 0.0;
+      for (double s : samples) sq += (s - stat.mean) * (s - stat.mean);
+      stat.stddev = std::sqrt(sq / static_cast<double>(samples.size() - 1));
+    }
+    return stat;
+  }
+};
+
+struct ReplicatedResult {
+  int replications = 0;
+  ReplicatedStat service_rate;
+  ReplicatedStat satisfaction;
+  ReplicatedStat blocking;
+  ReplicatedStat adaptation_success;
+  ReplicatedStat completed;
+  ReplicatedStat revenue_dollars;
+  ReplicatedStat mean_utilization;
+};
+
+/// Run `base` under seeds base.seed, base.seed+1, ... and aggregate.
+inline ReplicatedResult replicate(ExperimentConfig base, int replications) {
+  ReplicatedResult result;
+  result.replications = replications;
+  std::vector<double> service;
+  std::vector<double> satisfaction;
+  std::vector<double> blocking;
+  std::vector<double> adaptation;
+  std::vector<double> completed;
+  std::vector<double> revenue;
+  std::vector<double> utilization;
+  for (int r = 0; r < replications; ++r) {
+    ExperimentConfig config = base;
+    config.seed = base.seed + static_cast<std::uint64_t>(r);
+    const SimMetrics m = run_experiment(config).metrics;
+    service.push_back(m.service_rate());
+    satisfaction.push_back(m.satisfaction());
+    blocking.push_back(m.blocking_probability());
+    adaptation.push_back(m.adaptation_success_rate());
+    completed.push_back(static_cast<double>(m.completed));
+    revenue.push_back(m.revenue.as_dollars());
+    utilization.push_back(m.mean_utilization());
+  }
+  result.service_rate = ReplicatedStat::of(service);
+  result.satisfaction = ReplicatedStat::of(satisfaction);
+  result.blocking = ReplicatedStat::of(blocking);
+  result.adaptation_success = ReplicatedStat::of(adaptation);
+  result.completed = ReplicatedStat::of(completed);
+  result.revenue_dollars = ReplicatedStat::of(revenue);
+  result.mean_utilization = ReplicatedStat::of(utilization);
+  return result;
+}
+
+}  // namespace qosnp

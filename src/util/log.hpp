@@ -1,0 +1,54 @@
+// Minimal leveled logger. Negotiation and adaptation emit trace events the
+// examples surface to the user (the role the 1996 prototype's information
+// window played); benches run with logging off.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace qosnp {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& component, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace detail {
+inline void log_format(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void log_format(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  log_format(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_at(LogLevel level, const std::string& component, const Args&... args) {
+  Logger& lg = Logger::instance();
+  if (!lg.enabled(level)) return;
+  std::ostringstream os;
+  detail::log_format(os, args...);
+  lg.write(level, component, os.str());
+}
+
+#define QOSNP_LOG_TRACE(component, ...) ::qosnp::log_at(::qosnp::LogLevel::kTrace, component, __VA_ARGS__)
+#define QOSNP_LOG_DEBUG(component, ...) ::qosnp::log_at(::qosnp::LogLevel::kDebug, component, __VA_ARGS__)
+#define QOSNP_LOG_INFO(component, ...) ::qosnp::log_at(::qosnp::LogLevel::kInfo, component, __VA_ARGS__)
+#define QOSNP_LOG_WARN(component, ...) ::qosnp::log_at(::qosnp::LogLevel::kWarn, component, __VA_ARGS__)
+#define QOSNP_LOG_ERROR(component, ...) ::qosnp::log_at(::qosnp::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace qosnp

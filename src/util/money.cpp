@@ -1,0 +1,77 @@
+#include "util/money.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+namespace qosnp {
+
+Money Money::from_double(double d) {
+  return Money::micros(static_cast<std::int64_t>(std::llround(d * kMicrosPerDollar)));
+}
+
+Money Money::scaled(double k) const {
+  return Money::micros(static_cast<std::int64_t>(std::llround(static_cast<double>(micros_) * k)));
+}
+
+Money Money::parse(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  bool negative = false;
+  if (i < text.size() && (text[i] == '-' || text[i] == '+')) {
+    negative = text[i] == '-';
+    ++i;
+  }
+  if (i < text.size() && text[i] == '$') ++i;
+  std::int64_t whole = 0;
+  bool any_digit = false;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    whole = whole * 10 + (text[i] - '0');
+    any_digit = true;
+    ++i;
+  }
+  std::int64_t frac_micros = 0;
+  if (i < text.size() && text[i] == '.') {
+    ++i;
+    std::int64_t scale = kMicrosPerDollar / 10;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+      frac_micros += (text[i] - '0') * scale;
+      scale /= 10;
+      any_digit = true;
+      ++i;
+    }
+  }
+  if (!any_digit) return Money{};
+  std::int64_t total = whole * kMicrosPerDollar + frac_micros;
+  return Money::micros(negative ? -total : total);
+}
+
+std::string Money::to_string() const {
+  std::int64_t abs = micros_ < 0 ? -micros_ : micros_;
+  std::int64_t whole = abs / kMicrosPerDollar;
+  std::int64_t frac = abs % kMicrosPerDollar;
+  std::ostringstream os;
+  if (micros_ < 0) os << '-';
+  os << '$' << whole << '.';
+  // Two decimals normally; four or six when finer resolution is in play
+  // (tariffs are sub-cent, so totals often are too).
+  auto digits = [&os](std::int64_t value, int width) {
+    std::int64_t divisor = 1;
+    for (int i = 1; i < width; ++i) divisor *= 10;
+    for (; divisor > 0; divisor /= 10) os << (value / divisor % 10);
+  };
+  if (frac % kMicrosPerCent == 0) {
+    digits(frac / kMicrosPerCent, 2);
+  } else if (frac % 100 == 0) {
+    digits(frac / 100, 4);
+  } else {
+    digits(frac, 6);
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, Money m) { return os << m.to_string(); }
+
+}  // namespace qosnp

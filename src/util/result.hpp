@@ -1,0 +1,56 @@
+// Result<T, E>: lightweight expected-style return channel. Negotiation and
+// admission-control paths are hot and failure is an ordinary outcome (a
+// rejected reservation is not exceptional), so errors travel by value.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace qosnp {
+
+template <typename E>
+class Err {
+ public:
+  explicit Err(E error) : error_(std::move(error)) {}
+  E& get() { return error_; }
+  const E& get() const { return error_; }
+
+ private:
+  E error_;
+};
+
+template <typename E>
+Err(E) -> Err<E>;
+Err(const char*) -> Err<std::string>;
+
+template <typename T, typename E = std::string>
+class Result {
+ public:
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Result(Err<E> error) : storage_(std::in_place_index<1>, std::move(error.get())) {}
+
+  bool ok() const { return storage_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  T& value() {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  const E& error() const {
+    assert(!ok());
+    return std::get<1>(storage_);
+  }
+
+  T value_or(T fallback) const { return ok() ? std::get<0>(storage_) : std::move(fallback); }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace qosnp

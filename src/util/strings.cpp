@@ -1,0 +1,54 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <iomanip>
+
+namespace qosnp {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_key_value(std::string_view line, std::string& key, std::string& value) {
+  const std::size_t eq = line.find('=');
+  if (eq == std::string_view::npos) return false;
+  key = std::string(trim(line.substr(0, eq)));
+  value = std::string(trim(line.substr(eq + 1)));
+  return !key.empty();
+}
+
+std::string format_double(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+}  // namespace qosnp

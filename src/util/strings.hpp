@@ -1,0 +1,26 @@
+// Small string utilities shared by the profile (de)serialiser and the CLI
+// profile tool.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qosnp {
+
+/// Split on a delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// "key = value" line parser; returns false if no '=' present.
+bool parse_key_value(std::string_view line, std::string& key, std::string& value);
+
+/// Render a double with fixed decimals (no locale surprises).
+std::string format_double(double v, int decimals);
+
+}  // namespace qosnp

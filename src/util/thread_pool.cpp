@@ -1,0 +1,92 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace qosnp {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto fut = packaged.get_future();
+  {
+    std::lock_guard lk(mu_);
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lk(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t min_parallel_size) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (n < min_parallel_size || pool.size() == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunks = std::min(n, pool.size() * 4);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk);
+    futures.push_back(pool.submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace qosnp

@@ -1,0 +1,57 @@
+// Fixed-size worker pool with a blocking task queue plus a parallel_for
+// helper. The offer classifier (paper Sec. 5) evaluates system offers in
+// parallel: the offer space is the cartesian product of per-monomedia
+// variants and grows multiplicatively with document richness.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qosnp {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 means hardware concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the returned future observes completion/exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has completed.
+  void wait_idle();
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [begin, end) across the pool, in contiguous chunks.
+/// Blocks until all iterations complete. Falls back to serial execution for
+/// tiny ranges where the dispatch overhead would dominate.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t min_parallel_size = 256);
+
+}  // namespace qosnp

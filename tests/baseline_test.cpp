@@ -1,0 +1,154 @@
+#include "baseline/negotiators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_system.hpp"
+
+namespace qosnp {
+namespace {
+
+using testing::TestSystem;
+
+TEST(Baselines, NamesAreDistinct) {
+  TestSystem sys;
+  SmartNegotiator smart(sys.catalog, sys.farm, *sys.transport);
+  BasicNegotiator basic(sys.catalog, sys.farm, *sys.transport);
+  CostOnlyNegotiator cost(sys.catalog, sys.farm, *sys.transport, CostModel{});
+  QoSOnlyNegotiator qos(sys.catalog, sys.farm, *sys.transport, CostModel{});
+  EXPECT_EQ(smart.name(), "smart");
+  EXPECT_EQ(basic.name(), "basic");
+  EXPECT_EQ(cost.name(), "cost-only");
+  EXPECT_EQ(qos.name(), "qos-only");
+}
+
+TEST(BasicNegotiator, CommitsExactlyOneStaticOffer) {
+  TestSystem sys;
+  BasicNegotiator basic(sys.catalog, sys.farm, *sys.transport);
+  NegotiationOutcome outcome =
+      basic.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  EXPECT_EQ(outcome.status, NegotiationStatus::kSucceeded);
+  EXPECT_EQ(outcome.offers.offers.size(), 1u);  // no alternatives, no ladder
+  EXPECT_EQ(outcome.committed_index, 0u);
+}
+
+TEST(BasicNegotiator, RejectsWhenNoVariantSatisfiesDesired) {
+  TestSystem sys;
+  BasicNegotiator basic(sys.catalog, sys.farm, *sys.transport);
+  UserProfile greedy = TestSystem::tolerant_profile();
+  greedy.mm.video->desired = VideoQoS{ColorDepth::kSuperColor, 60, 1920};
+  NegotiationOutcome outcome = basic.negotiate(sys.client, "article", greedy);
+  // The smart negotiator degrades gracefully here (FAILEDWITHOFFER); the
+  // static baseline simply has nothing to offer.
+  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedWithoutOffer);
+}
+
+TEST(BasicNegotiator, FailsTryLaterWithoutFallback) {
+  // Saturate the one server hosting the desired-satisfying variant: the
+  // static baseline rejects although alternates exist.
+  TestSystem sys;
+  BasicNegotiator basic(sys.catalog, sys.farm, *sys.transport);
+  UserProfile profile = TestSystem::tolerant_profile();
+  NegotiationOutcome probe = basic.negotiate(sys.client, "article", profile);
+  ASSERT_TRUE(probe.has_commitment());
+  // Find which server the static choice used for video and choke it.
+  ServerId used;
+  for (const auto& c : probe.offers.offers[0].components) {
+    if (c.requirements.guarantee == GuaranteeClass::kGuaranteed) {
+      used = c.variant->server;
+      break;
+    }
+  }
+  probe.commitment.release();
+  sys.farm.find(used)->degrade(0.9999);
+  NegotiationOutcome outcome = basic.negotiate(sys.client, "article", profile);
+  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedTryLater);
+  // The smart procedure serves the same request from the other server.
+  SmartNegotiator smart(sys.catalog, sys.farm, *sys.transport);
+  NegotiationOutcome smart_outcome = smart.negotiate(sys.client, "article", profile);
+  EXPECT_TRUE(smart_outcome.status == NegotiationStatus::kSucceeded ||
+              smart_outcome.status == NegotiationStatus::kFailedWithOffer);
+}
+
+TEST(CostOnlyNegotiator, PicksCheapestCommittableOffer) {
+  TestSystem sys;
+  CostOnlyNegotiator cost(sys.catalog, sys.farm, *sys.transport, CostModel{});
+  NegotiationOutcome outcome =
+      cost.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  ASSERT_TRUE(outcome.has_commitment());
+  EXPECT_EQ(outcome.committed_index, 0u);
+  for (std::size_t i = 1; i < outcome.offers.offers.size(); ++i) {
+    EXPECT_LE(outcome.offers.offers[i - 1].total_cost(),
+              outcome.offers.offers[i].total_cost());
+  }
+  // The cheapest offer is typically the degraded one: cost-only ignores the
+  // user's desired QoS (Sec. 5's argument against it).
+  const SystemOffer& committed = outcome.offers.offers[outcome.committed_index];
+  EXPECT_NE(committed.sns, Sns::kDesirable);
+}
+
+TEST(QoSOnlyNegotiator, PicksRichestOfferIgnoringCost) {
+  TestSystem sys;
+  QoSOnlyNegotiator qos(sys.catalog, sys.farm, *sys.transport, CostModel{});
+  UserProfile profile = TestSystem::tolerant_profile();
+  profile.mm.cost.max_cost = Money::cents(1);  // budget the richest offer busts
+  NegotiationOutcome outcome = qos.negotiate(sys.client, "article", profile);
+  ASSERT_TRUE(outcome.has_commitment());
+  // QoS-only ignores the budget -> the committed offer violates it.
+  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedWithOffer);
+  EXPECT_GT(outcome.offers.offers[outcome.committed_index].total_cost(),
+            profile.mm.cost.max_cost);
+}
+
+TEST(Baselines, LocalAndCompatibilityChecksStillApply) {
+  TestSystem sys;
+  ClientMachine bw = sys.client;
+  bw.screen = ScreenSpec{640, 480, ColorDepth::kBlackWhite};
+  UserProfile profile = TestSystem::tolerant_profile();
+  profile.mm.video->worst = VideoQoS{ColorDepth::kColor, 10, 320};
+  for (auto* negotiator : std::initializer_list<Negotiator*>{}) {
+    (void)negotiator;
+  }
+  BasicNegotiator basic(sys.catalog, sys.farm, *sys.transport);
+  CostOnlyNegotiator cost(sys.catalog, sys.farm, *sys.transport, CostModel{});
+  EXPECT_EQ(basic.negotiate(bw, "article", profile).status,
+            NegotiationStatus::kFailedWithLocalOffer);
+  EXPECT_EQ(cost.negotiate(bw, "article", profile).status,
+            NegotiationStatus::kFailedWithLocalOffer);
+  EXPECT_EQ(basic.negotiate(sys.client, "ghost", profile).status,
+            NegotiationStatus::kFailedWithoutOffer);
+  EXPECT_EQ(cost.negotiate(sys.client, "ghost", profile).status,
+            NegotiationStatus::kFailedWithoutOffer);
+}
+
+TEST(Baselines, SmartServiceRateDominatesBasicUnderLoad) {
+  // Sequential arrivals against finite capacity: the smart procedure keeps
+  // serving (with degraded offers) after the static baseline starts
+  // rejecting — the paper's availability claim in miniature.
+  TestSystem smart_sys(/*access_bps=*/200'000'000, /*backbone_bps=*/30'000'000,
+                       /*server_bps=*/200'000'000);
+  TestSystem basic_sys(/*access_bps=*/200'000'000, /*backbone_bps=*/30'000'000,
+                       /*server_bps=*/200'000'000);
+  SmartNegotiator smart(smart_sys.catalog, smart_sys.farm, *smart_sys.transport);
+  BasicNegotiator basic(basic_sys.catalog, basic_sys.farm, *basic_sys.transport);
+  const UserProfile profile = TestSystem::tolerant_profile();
+
+  int smart_served = 0;
+  int basic_served = 0;
+  std::vector<NegotiationOutcome> held;
+  for (int i = 0; i < 30; ++i) {
+    auto a = smart.negotiate(smart_sys.client, "article", profile);
+    if (a.has_commitment()) {
+      ++smart_served;
+      held.push_back(std::move(a));
+    }
+    auto b = basic.negotiate(basic_sys.client, "article", profile);
+    if (b.has_commitment()) {
+      ++basic_served;
+      held.push_back(std::move(b));
+    }
+  }
+  EXPECT_GT(smart_served, basic_served);
+}
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,126 @@
+#include "client/client_machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qosnp {
+namespace {
+
+ClientMachine color_client() {
+  ClientMachine c;
+  c.name = "workstation";
+  c.node = "client-0";
+  c.screen = ScreenSpec{1280, 1024, ColorDepth::kSuperColor};
+  c.decoders = {CodingFormat::kMPEG1, CodingFormat::kMJPEG, CodingFormat::kPCM,
+                CodingFormat::kJPEG, CodingFormat::kPlainText};
+  c.max_audio = AudioQuality::kCD;
+  return c;
+}
+
+ClientMachine bw_terminal() {
+  ClientMachine c;
+  c.name = "terminal";
+  c.node = "client-1";
+  c.screen = ScreenSpec{640, 480, ColorDepth::kBlackWhite};
+  c.decoders = {CodingFormat::kMPEG1, CodingFormat::kPlainText};
+  c.max_audio = AudioQuality::kTelephone;
+  return c;
+}
+
+TEST(ClientMachine, CanDecode) {
+  const ClientMachine c = color_client();
+  EXPECT_TRUE(c.can_decode(CodingFormat::kMPEG1));
+  EXPECT_TRUE(c.can_decode(CodingFormat::kMJPEG));
+  EXPECT_FALSE(c.can_decode(CodingFormat::kMPEG2));
+}
+
+TEST(ClientMachine, SupportsVideoWithinScreen) {
+  const ClientMachine c = color_client();
+  EXPECT_TRUE(c.supports(VideoQoS{ColorDepth::kColor, 25, 640}));
+  EXPECT_TRUE(c.supports(VideoQoS{ColorDepth::kSuperColor, 60, 1280}));
+  EXPECT_FALSE(c.supports(VideoQoS{ColorDepth::kColor, 25, 1920}));  // too wide
+}
+
+TEST(ClientMachine, BlackWhiteScreenRejectsColor) {
+  // The paper's FAILEDWITHLOCALOFFER example: "the user asks for a color
+  // video, while the client machine screen is black&white".
+  const ClientMachine c = bw_terminal();
+  EXPECT_FALSE(c.supports(VideoQoS{ColorDepth::kColor, 25, 640}));
+  EXPECT_TRUE(c.supports(VideoQoS{ColorDepth::kBlackWhite, 25, 640}));
+}
+
+TEST(ClientMachine, AudioSupport) {
+  const ClientMachine hi = color_client();
+  EXPECT_TRUE(hi.supports(AudioQoS{AudioQuality::kCD}));
+  const ClientMachine lo = bw_terminal();
+  EXPECT_FALSE(lo.supports(AudioQoS{AudioQuality::kCD}));
+  EXPECT_TRUE(lo.supports(AudioQoS{AudioQuality::kTelephone}));
+  ClientMachine mute = color_client();
+  mute.has_audio_out = false;
+  EXPECT_FALSE(mute.supports(AudioQoS{AudioQuality::kTelephone}));
+}
+
+TEST(ClientMachine, BestQosClipsToHardware) {
+  const ClientMachine c = bw_terminal();
+  EXPECT_EQ(c.best_video().color, ColorDepth::kBlackWhite);
+  EXPECT_EQ(c.best_video().resolution, 640);
+  EXPECT_EQ(c.best_audio().quality, AudioQuality::kTelephone);
+}
+
+TEST(LocalNegotiation, PassesWhenHardwareSuffices) {
+  const ClientMachine c = color_client();
+  const MMProfile mm = default_user_profile().mm;
+  const LocalCheck check = local_negotiation(c, mm);
+  EXPECT_TRUE(check.ok);
+  EXPECT_TRUE(check.problems.empty());
+}
+
+TEST(LocalNegotiation, FailsWhenWorstExceedsHardware) {
+  const ClientMachine c = bw_terminal();
+  MMProfile mm = default_user_profile().mm;
+  // Worst acceptable = grey video: a black&white screen cannot render it.
+  const LocalCheck check = local_negotiation(c, mm);
+  EXPECT_FALSE(check.ok);
+  EXPECT_FALSE(check.problems.empty());
+  // The local offer is clipped to what the terminal can do.
+  ASSERT_TRUE(check.local_offer.video.has_value());
+  EXPECT_EQ(check.local_offer.video->desired.color, ColorDepth::kBlackWhite);
+}
+
+TEST(LocalNegotiation, ClipsDesiredAboveHardwareWithoutFailing) {
+  ClientMachine c = color_client();
+  c.screen = ScreenSpec{800, 600, ColorDepth::kColor};
+  MMProfile mm = default_user_profile().mm;
+  mm.video->desired = VideoQoS{ColorDepth::kSuperColor, 60, 1920};  // above hardware
+  mm.video->worst = VideoQoS{ColorDepth::kGray, 10, 320};           // within hardware
+  const LocalCheck check = local_negotiation(c, mm);
+  EXPECT_TRUE(check.ok);
+  EXPECT_EQ(check.local_offer.video->desired.color, ColorDepth::kColor);
+  EXPECT_EQ(check.local_offer.video->desired.resolution, 800);
+}
+
+TEST(LocalNegotiation, ImageAndAudioChecked) {
+  const ClientMachine c = bw_terminal();
+  MMProfile mm;
+  ImageProfile image;
+  image.desired = ImageQoS{ColorDepth::kColor, 640};
+  image.worst = ImageQoS{ColorDepth::kColor, 320};
+  mm.image = image;
+  AudioProfile audio;
+  audio.desired = AudioQoS{AudioQuality::kCD};
+  audio.worst = AudioQoS{AudioQuality::kCD};
+  mm.audio = audio;
+  const LocalCheck check = local_negotiation(c, mm);
+  EXPECT_FALSE(check.ok);
+  EXPECT_EQ(check.problems.size(), 2u);  // image colour + audio quality
+}
+
+TEST(LocalNegotiation, TextNeedsNoHardware) {
+  const ClientMachine c = bw_terminal();
+  MMProfile mm;
+  mm.text = TextProfile{Language::kFrench, {}};
+  const LocalCheck check = local_negotiation(c, mm);
+  EXPECT_TRUE(check.ok);
+}
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,148 @@
+#include "cost/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "document/corpus.hpp"
+
+namespace qosnp {
+namespace {
+
+StreamRequirements guaranteed_stream(std::int64_t max_bps, std::int64_t avg_bps,
+                                     double duration_s) {
+  StreamRequirements req;
+  req.max_bit_rate_bps = max_bps;
+  req.avg_bit_rate_bps = avg_bps;
+  req.guarantee = GuaranteeClass::kGuaranteed;
+  req.duration_s = duration_s;
+  return req;
+}
+
+TEST(CostTable, ClassifyPicksCoveringClass) {
+  const CostTable table = CostTable::standard_network();
+  EXPECT_EQ(table.classify(1), 0u);
+  EXPECT_EQ(table.classify(64'000), 0u);
+  EXPECT_EQ(table.classify(64'001), 1u);
+  EXPECT_EQ(table.classify(1'000'000), 2u);
+  // Above the last bound: falls into the last class.
+  EXPECT_EQ(table.classify(999'000'000), table.size() - 1);
+}
+
+TEST(CostTable, TariffsAreMonotone) {
+  for (const CostTable& table : {CostTable::standard_network(), CostTable::standard_server()}) {
+    EXPECT_TRUE(table.validate().empty());
+    for (std::size_t i = 1; i < table.size(); ++i) {
+      EXPECT_GE(table.at(i).cost_per_second, table.at(i - 1).cost_per_second);
+      EXPECT_GT(table.at(i).upper_bps, table.at(i - 1).upper_bps);
+    }
+  }
+}
+
+TEST(CostTable, ValidateCatchesBadTables) {
+  EXPECT_FALSE(CostTable{}.validate().empty());
+  const CostTable unsorted{{{100, Money::cents(1)}, {50, Money::cents(2)}}};
+  EXPECT_FALSE(unsorted.validate().empty());
+  const CostTable decreasing{{{100, Money::cents(5)}, {200, Money::cents(1)}}};
+  EXPECT_FALSE(decreasing.validate().empty());
+}
+
+TEST(CostModel, ChargedRateIsAverageThroughput) {
+  StreamRequirements req = guaranteed_stream(2'000'000, 800'000, 60.0);
+  EXPECT_EQ(CostModel::charged_bps(req), 800'000);
+  req.guarantee = GuaranteeClass::kBestEffort;
+  EXPECT_EQ(CostModel::charged_bps(req), 800'000);
+}
+
+TEST(CostModel, StreamCostIsTariffTimesDuration) {
+  // CostNet_i = CostNet_{C_i} x D_i, with C_i from the average throughput.
+  const CostModel model;
+  const StreamRequirements req = guaranteed_stream(900'000, 700'000, 100.0);
+  const Money per_second = model.network_table().cost_per_second(700'000);
+  EXPECT_EQ(model.stream_network_cost(req), per_second.scaled(100.0));
+  const Money server_per_second = model.server_table().cost_per_second(700'000);
+  EXPECT_EQ(model.stream_server_cost(req), server_per_second.scaled(100.0));
+}
+
+TEST(CostModel, BestEffortIsDiscounted) {
+  const CostModel model(CostTable::standard_network(), CostTable::standard_server(), 0.5);
+  StreamRequirements guaranteed = guaranteed_stream(900'000, 900'000, 100.0);
+  StreamRequirements best_effort = guaranteed;
+  best_effort.guarantee = GuaranteeClass::kBestEffort;
+  EXPECT_EQ(model.stream_network_cost(best_effort).as_micros(),
+            model.stream_network_cost(guaranteed).as_micros() / 2);
+}
+
+TEST(CostModel, DocumentCostIsFormulaOne) {
+  // CostDoc = CostCop + sum_i (CostNet_i + CostSer_i).
+  const CostModel model;
+  const Money copyright = Money::cents(75);
+  const std::vector<StreamRequirements> streams = {
+      guaranteed_stream(1'500'000, 1'000'000, 120.0),
+      guaranteed_stream(200'000, 150'000, 120.0),
+  };
+  const CostBreakdown breakdown = model.document_cost(copyright, streams);
+  EXPECT_EQ(breakdown.copyright, copyright);
+  ASSERT_EQ(breakdown.streams.size(), 2u);
+  Money expected = copyright;
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    EXPECT_EQ(breakdown.streams[i].network, model.stream_network_cost(streams[i]));
+    EXPECT_EQ(breakdown.streams[i].server, model.stream_server_cost(streams[i]));
+    expected += breakdown.streams[i].network + breakdown.streams[i].server;
+  }
+  EXPECT_EQ(breakdown.total, expected);
+}
+
+TEST(CostModel, EmptyDocumentCostsOnlyCopyright) {
+  const CostModel model;
+  const CostBreakdown breakdown = model.document_cost(Money::dollars(1), {});
+  EXPECT_EQ(breakdown.total, Money::dollars(1));
+  EXPECT_TRUE(breakdown.streams.empty());
+}
+
+TEST(CostModel, TypicalNewsVideoLandsInSingleDigitDollars) {
+  // A TV-quality MPEG-1 video of 3 minutes should cost a few dollars, as in
+  // the paper's running examples ($2.5 - $6).
+  const CostModel model;
+  Variant v = make_video_variant("v", VideoQoS{ColorDepth::kColor, 25, 640},
+                                 CodingFormat::kMPEG1, 180.0, "s");
+  const StreamRequirements req = map_variant(v, 180.0, TimeProfile{});
+  const CostBreakdown breakdown = model.document_cost(Money::cents(50), {req});
+  EXPECT_GT(breakdown.total, Money::cents(50));
+  EXPECT_LT(breakdown.total, Money::dollars(10)) << breakdown.total.to_string();
+}
+
+TEST(CostModel, HigherThroughputClassCostsMore) {
+  const CostModel model;
+  const StreamRequirements lo = guaranteed_stream(100'000, 100'000, 60.0);
+  const StreamRequirements hi = guaranteed_stream(8'000'000, 8'000'000, 60.0);
+  EXPECT_GT(model.stream_network_cost(hi), model.stream_network_cost(lo));
+}
+
+TEST(CostModel, CustomTablesAndDiscountAreHonoured) {
+  const CostTable net{{{1'000'000, Money::cents(1)}, {10'000'000, Money::cents(2)}}};
+  const CostTable srv{{{10'000'000, Money::cents(1)}}};
+  const CostModel model(net, srv, /*best_effort_discount=*/0.25);
+  StreamRequirements req = guaranteed_stream(4'000'000, 2'000'000, 10.0);
+  // Charged on the 2 Mbit/s average -> class 1 of the custom net table.
+  EXPECT_EQ(model.stream_network_cost(req), Money::cents(20));
+  EXPECT_EQ(model.stream_server_cost(req), Money::cents(10));
+  req.guarantee = GuaranteeClass::kBestEffort;
+  EXPECT_EQ(model.stream_network_cost(req), Money::cents(5));  // 25% of $0.20
+}
+
+// Sweep durations: cost scales linearly with D_i within one class.
+class DurationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DurationSweep, CostLinearInDuration) {
+  const CostModel model;
+  const int seconds = GetParam();
+  const StreamRequirements base = guaranteed_stream(900'000, 900'000, 1.0);
+  StreamRequirements longer = base;
+  longer.duration_s = seconds;
+  EXPECT_EQ(model.stream_network_cost(longer).as_micros(),
+            model.stream_network_cost(base).as_micros() * seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Durations, DurationSweep, ::testing::Values(1, 2, 10, 60, 300, 3600));
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,179 @@
+// Block-level delivery: VBR traces, playout buffering, stall behaviour and
+// inter-stream skew — the behavioural justification of the Sec. 6 mapping.
+#include "delivery/playout.hpp"
+#include "delivery/vbr_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "document/corpus.hpp"
+#include "qosmap/mapping.hpp"
+
+namespace qosnp {
+namespace {
+
+Variant tv_video() {
+  return make_video_variant("v", VideoQoS{ColorDepth::kColor, 25, 640}, CodingFormat::kMPEG1,
+                            120.0, "s");
+}
+
+Variant cd_audio() {
+  return make_audio_variant("a", AudioQuality::kCD, CodingFormat::kMPEGAudio, 120.0, "s");
+}
+
+TEST(VbrTrace, DeterministicPerVariantAndSeed) {
+  const Variant v = tv_video();
+  const auto a = generate_block_trace(v, 500, 7);
+  const auto b = generate_block_trace(v, 500, 7);
+  EXPECT_EQ(a, b);
+  const auto c = generate_block_trace(v, 500, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(VbrTrace, MeanTracksMetadata) {
+  const Variant v = tv_video();
+  const auto trace = generate_block_trace(v, 6'000, 3);
+  EXPECT_NEAR(trace_mean(trace), static_cast<double>(v.avg_block_bytes),
+              0.05 * static_cast<double>(v.avg_block_bytes));
+}
+
+TEST(VbrTrace, PeakHitsMaxBlock) {
+  const Variant v = tv_video();
+  const auto trace = generate_block_trace(v, 600, 3);
+  EXPECT_EQ(trace_peak(trace), static_cast<std::int32_t>(v.max_block_bytes));
+  for (std::int32_t b : trace) {
+    EXPECT_GE(b, 1);
+    EXPECT_LE(b, v.max_block_bytes);
+  }
+}
+
+TEST(VbrTrace, GopStructureHasPeriodicIFrames) {
+  const Variant v = tv_video();
+  const auto trace = generate_block_trace(v, 120, 3);
+  for (std::size_t i = 0; i < trace.size(); i += 12) {
+    EXPECT_EQ(trace[i], static_cast<std::int32_t>(v.max_block_bytes)) << i;
+  }
+  // Non-I blocks are strictly smaller (MPEG burst 3x).
+  EXPECT_LT(trace[1], trace[0]);
+}
+
+TEST(VbrTrace, AudioIsNearConstant) {
+  const Variant a = cd_audio();
+  const auto trace = generate_block_trace(a, 1'000, 3);
+  for (std::int32_t b : trace) {
+    EXPECT_GE(b, static_cast<std::int32_t>(0.85 * static_cast<double>(a.avg_block_bytes)));
+    EXPECT_LE(b, a.max_block_bytes);
+  }
+}
+
+DeliveryConfig config_with_rate(std::int64_t bps) {
+  DeliveryConfig config;
+  config.bottleneck_bps = bps;
+  config.base_delay_ms = 20.0;
+  config.jitter_ms = 5.0;
+  config.prebuffer_s = 1.0;
+  config.seed = 11;
+  return config;
+}
+
+TEST(Playout, PeakRateReservationPlaysCleanly) {
+  // The Sec. 6 rule: a guaranteed stream reserves maxBitRate. At that rate
+  // the VBR stream never stalls (given a modest prebuffer).
+  const Variant v = tv_video();
+  const StreamRequirements req = map_variant(v, 120.0, TimeProfile{});
+  const PlayoutReport report = simulate_playout(v, 120.0, config_with_rate(req.max_bit_rate_bps));
+  EXPECT_GT(report.blocks, 0u);
+  EXPECT_TRUE(report.clean()) << report.stalls << " stalls, " << report.total_stall_s << "s";
+}
+
+TEST(Playout, AverageRateReservationStalls) {
+  // Under-reserving at avgBitRate cannot absorb the I-frame bursts: the
+  // stream stalls — the ablation that justifies peak-rate reservation.
+  const Variant v = tv_video();
+  const StreamRequirements req = map_variant(v, 120.0, TimeProfile{});
+  const PlayoutReport report =
+      simulate_playout(v, 120.0, config_with_rate(req.avg_bit_rate_bps * 9 / 10));
+  EXPECT_GT(report.stalls, 0u);
+  EXPECT_GT(report.total_stall_s, 0.0);
+}
+
+TEST(Playout, BiggerPrebufferAbsorbsMore) {
+  const Variant v = tv_video();
+  const StreamRequirements req = map_variant(v, 120.0, TimeProfile{});
+  DeliveryConfig tight = config_with_rate(req.avg_bit_rate_bps);
+  tight.prebuffer_s = 0.2;
+  DeliveryConfig roomy = tight;
+  roomy.prebuffer_s = 8.0;
+  const double tight_stall = simulate_playout(v, 120.0, tight).total_stall_s;
+  const double roomy_stall = simulate_playout(v, 120.0, roomy).total_stall_s;
+  EXPECT_LE(roomy_stall, tight_stall);
+}
+
+TEST(Playout, LossInducesStallsInLowLatencyMode) {
+  // With a low-latency buffer (100 ms ahead, 100 ms prebuffer), a 5% loss
+  // rate — far above the 0.003 target — causes visible lateness.
+  const Variant v = tv_video();
+  const StreamRequirements req = map_variant(v, 120.0, TimeProfile{});
+  DeliveryConfig lossy = config_with_rate(req.max_bit_rate_bps);
+  lossy.loss_rate = 0.05;
+  lossy.prebuffer_s = 0.1;
+  lossy.max_buffer_ahead_s = 0.1;
+  const PlayoutReport report = simulate_playout(v, 120.0, lossy);
+  EXPECT_GT(report.late_blocks, 0u);
+}
+
+TEST(Playout, TargetLossRateIsAbsorbedByPrebuffer) {
+  // At the [Ste 90] loss target (0.003) and peak-rate reservation, a 1 s
+  // prebuffer keeps the playout clean.
+  const Variant v = tv_video();
+  const StreamRequirements req = map_variant(v, 120.0, TimeProfile{});
+  DeliveryConfig config = config_with_rate(req.max_bit_rate_bps);
+  config.loss_rate = req.loss_rate;
+  const PlayoutReport report = simulate_playout(v, 120.0, config);
+  EXPECT_TRUE(report.clean()) << report.total_stall_s;
+}
+
+TEST(Playout, ReportTimelineIsMonotone) {
+  const Variant v = tv_video();
+  const StreamRequirements req = map_variant(v, 60.0, TimeProfile{});
+  const PlayoutReport report =
+      simulate_playout(v, 60.0, config_with_rate(req.avg_bit_rate_bps));
+  ASSERT_EQ(report.cumulative_stall.size(), report.blocks);
+  for (std::size_t i = 1; i < report.cumulative_stall.size(); ++i) {
+    EXPECT_GE(report.cumulative_stall[i], report.cumulative_stall[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(report.cumulative_stall.back(), report.total_stall_s);
+}
+
+TEST(Playout, DegenerateInputsYieldEmptyReport) {
+  const Variant v = tv_video();
+  EXPECT_EQ(simulate_playout(v, 60.0, DeliveryConfig{}).blocks, 0u);  // zero rate
+  Variant text = make_text_variant("t", Language::kEnglish, CodingFormat::kPlainText, 1'000, "s");
+  EXPECT_EQ(simulate_playout(text, 60.0, config_with_rate(1'000'000)).blocks, 0u);
+}
+
+TEST(Sync, ParallelCleanStreamsStayInSync) {
+  const Variant v = tv_video();
+  const Variant a = cd_audio();
+  const StreamRequirements vreq = map_variant(v, 120.0, TimeProfile{});
+  const StreamRequirements areq = map_variant(a, 120.0, TimeProfile{});
+  const PlayoutReport video = simulate_playout(v, 120.0, config_with_rate(vreq.max_bit_rate_bps));
+  const PlayoutReport audio = simulate_playout(a, 120.0, config_with_rate(areq.max_bit_rate_bps));
+  EXPECT_LT(max_sync_skew(video, audio), kLipSyncSkewS);
+}
+
+TEST(Sync, UnderReservedVideoBreaksLipSync) {
+  // Video stalls while audio keeps flowing: skew exceeds the 80 ms lip-sync
+  // tolerance — the condition the [Lam 94] synchronisation component (and
+  // the adaptation procedure) exists to handle.
+  const Variant v = tv_video();
+  const Variant a = cd_audio();
+  const StreamRequirements vreq = map_variant(v, 120.0, TimeProfile{});
+  const StreamRequirements areq = map_variant(a, 120.0, TimeProfile{});
+  const PlayoutReport video =
+      simulate_playout(v, 120.0, config_with_rate(vreq.avg_bit_rate_bps * 8 / 10));
+  const PlayoutReport audio = simulate_playout(a, 120.0, config_with_rate(areq.max_bit_rate_bps));
+  EXPECT_GT(max_sync_skew(video, audio), kLipSyncSkewS);
+}
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,147 @@
+#include "document/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "document/corpus.hpp"
+
+namespace qosnp {
+namespace {
+
+bool qos_equal(const MonomediaQoS& a, const MonomediaQoS& b) { return a == b; }
+
+void expect_documents_equal(const MultimediaDocument& a, const MultimediaDocument& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.title, b.title);
+  EXPECT_EQ(a.copyright_cost, b.copyright_cost);
+  ASSERT_EQ(a.monomedia.size(), b.monomedia.size());
+  for (std::size_t m = 0; m < a.monomedia.size(); ++m) {
+    const Monomedia& ma = a.monomedia[m];
+    const Monomedia& mb = b.monomedia[m];
+    EXPECT_EQ(ma.id, mb.id);
+    EXPECT_EQ(ma.kind, mb.kind);
+    EXPECT_EQ(ma.name, mb.name);
+    EXPECT_NEAR(ma.duration_s, mb.duration_s, 1e-3);
+    ASSERT_EQ(ma.variants.size(), mb.variants.size());
+    for (std::size_t v = 0; v < ma.variants.size(); ++v) {
+      const Variant& va = ma.variants[v];
+      const Variant& vb = mb.variants[v];
+      EXPECT_EQ(va.id, vb.id);
+      EXPECT_EQ(va.format, vb.format);
+      EXPECT_EQ(va.server, vb.server);
+      EXPECT_EQ(va.avg_block_bytes, vb.avg_block_bytes);
+      EXPECT_EQ(va.max_block_bytes, vb.max_block_bytes);
+      EXPECT_NEAR(va.blocks_per_second, vb.blocks_per_second, 1e-3);
+      EXPECT_EQ(va.file_bytes, vb.file_bytes);
+      EXPECT_TRUE(qos_equal(va.qos, vb.qos)) << va.id;
+    }
+  }
+  ASSERT_EQ(a.sync.temporal.size(), b.sync.temporal.size());
+  for (std::size_t t = 0; t < a.sync.temporal.size(); ++t) {
+    EXPECT_EQ(a.sync.temporal[t].first, b.sync.temporal[t].first);
+    EXPECT_EQ(a.sync.temporal[t].second, b.sync.temporal[t].second);
+    EXPECT_EQ(a.sync.temporal[t].type, b.sync.temporal[t].type);
+  }
+  ASSERT_EQ(a.sync.spatial.size(), b.sync.spatial.size());
+  for (std::size_t s = 0; s < a.sync.spatial.size(); ++s) {
+    EXPECT_EQ(a.sync.spatial[s].monomedia, b.sync.spatial[s].monomedia);
+    EXPECT_EQ(a.sync.spatial[s].width, b.sync.spatial[s].width);
+  }
+}
+
+TEST(DocumentSerialize, RoundTripsCorpusDocuments) {
+  CorpusConfig config;
+  config.num_documents = 8;
+  config.seed = 13;
+  for (const auto& doc : generate_corpus(config)) {
+    auto parsed = parse_documents(to_text(doc));
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    ASSERT_EQ(parsed.value().size(), 1u);
+    expect_documents_equal(doc, parsed.value()[0]);
+    EXPECT_TRUE(validate(parsed.value()[0]).empty());
+  }
+}
+
+TEST(DocumentSerialize, ParsesMultipleDocuments) {
+  CorpusConfig config;
+  config.num_documents = 3;
+  std::string text;
+  for (const auto& doc : generate_corpus(config)) text += to_text(doc) + "\n";
+  auto parsed = parse_documents(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 3u);
+}
+
+TEST(DocumentSerialize, ErrorsCarryLineNumbers) {
+  auto r1 = parse_documents("title = orphan\n");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.error().find("line 1"), std::string::npos);
+
+  auto r2 = parse_documents("document = d\nvariant = v | MPEG-1 | s | 1|2|25|100| color 25 640\n");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.error().find("variant before"), std::string::npos);
+
+  auto r3 = parse_documents(
+      "document = d\nmonomedia = m | video | n | 10\nvariant = v | NOPE | s | 1|2|25|100| color 25 640\n");
+  ASSERT_FALSE(r3.ok());
+  EXPECT_NE(r3.error().find("coding format"), std::string::npos);
+
+  auto r4 = parse_documents("document = d\nmystery = 1\n");
+  ASSERT_FALSE(r4.ok());
+  EXPECT_NE(r4.error().find("unknown key"), std::string::npos);
+}
+
+TEST(DocumentSerialize, QosFieldsValidatedPerMedium) {
+  const std::string base = "document = d\nmonomedia = m | audio | n | 10\n";
+  auto bad = parse_documents(base + "variant = v | PCM | s | 1 | 2 | 50 | 100 | color 25 640\n");
+  EXPECT_FALSE(bad.ok());
+  auto good = parse_documents(base + "variant = v | PCM | s | 1 | 2 | 50 | 100 | CD\n");
+  ASSERT_TRUE(good.ok()) << good.error();
+  EXPECT_EQ(std::get<AudioQoS>(good.value()[0].monomedia[0].variants[0].qos).quality,
+            AudioQuality::kCD);
+}
+
+TEST(CatalogIo, SaveAndLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qosnp_catalog_test.txt").string();
+  CorpusConfig config;
+  config.num_documents = 5;
+  config.seed = 99;
+  Catalog original;
+  for (auto& doc : generate_corpus(config)) original.add(std::move(doc));
+  ASSERT_TRUE(save_catalog(original, path).ok());
+
+  Catalog loaded;
+  auto count = load_catalog(loaded, path);
+  ASSERT_TRUE(count.ok()) << count.error();
+  EXPECT_EQ(count.value(), 5u);
+  EXPECT_EQ(loaded.list(), original.list());
+  for (const auto& id : original.list()) {
+    expect_documents_equal(*original.find(id), *loaded.find(id));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CatalogIo, LoadMissingFileFails) {
+  Catalog catalog;
+  EXPECT_FALSE(load_catalog(catalog, "/nonexistent/catalog.txt").ok());
+}
+
+TEST(CatalogIo, LoadRejectsInvalidDocument) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "qosnp_bad_catalog.txt").string();
+  {
+    std::ofstream out(path);
+    out << "document = broken\n";  // no monomedia -> fails validation
+  }
+  Catalog catalog;
+  auto result = load_catalog(catalog, path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,252 @@
+#include "document/catalog.hpp"
+#include "document/corpus.hpp"
+#include "document/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qosnp {
+namespace {
+
+MultimediaDocument tiny_doc() {
+  MultimediaDocument doc;
+  doc.id = "doc-1";
+  doc.title = "tiny";
+  doc.copyright_cost = Money::cents(50);
+  Monomedia video;
+  video.id = "doc-1/video";
+  video.kind = MediaKind::kVideo;
+  video.duration_s = 120.0;
+  video.variants.push_back(make_video_variant(
+      "doc-1/video/v0", VideoQoS{ColorDepth::kColor, 25, 640}, CodingFormat::kMPEG1, 120.0,
+      "server-a"));
+  doc.monomedia.push_back(std::move(video));
+  return doc;
+}
+
+TEST(Model, VariantBlockMetadataIsConsistent) {
+  const VideoQoS qos{ColorDepth::kColor, 25, 640};
+  const Variant v = make_video_variant("v", qos, CodingFormat::kMPEG1, 60.0, "s");
+  EXPECT_GT(v.avg_block_bytes, 0);
+  EXPECT_GE(v.max_block_bytes, v.avg_block_bytes);
+  EXPECT_DOUBLE_EQ(v.blocks_per_second, 25.0);
+  EXPECT_GT(v.file_bytes, 0);
+  EXPECT_EQ(v.kind(), MediaKind::kVideo);
+}
+
+TEST(Model, VideoFrameBytesGrowWithQuality) {
+  const auto small = video_avg_frame_bytes(VideoQoS{ColorDepth::kGray, 25, 320},
+                                           CodingFormat::kMPEG1);
+  const auto big = video_avg_frame_bytes(VideoQoS{ColorDepth::kSuperColor, 25, 1280},
+                                         CodingFormat::kMPEG1);
+  EXPECT_GT(big, small);
+  // MJPEG compresses less aggressively than MPEG-1.
+  const VideoQoS q{ColorDepth::kColor, 25, 640};
+  EXPECT_GT(video_avg_frame_bytes(q, CodingFormat::kMJPEG),
+            video_avg_frame_bytes(q, CodingFormat::kMPEG1));
+}
+
+TEST(Model, MpegBurstExceedsMjpegBurst) {
+  const VideoQoS q{ColorDepth::kColor, 25, 640};
+  const double mpeg_ratio =
+      static_cast<double>(video_max_frame_bytes(q, CodingFormat::kMPEG1)) /
+      static_cast<double>(video_avg_frame_bytes(q, CodingFormat::kMPEG1));
+  const double mjpeg_ratio =
+      static_cast<double>(video_max_frame_bytes(q, CodingFormat::kMJPEG)) /
+      static_cast<double>(video_avg_frame_bytes(q, CodingFormat::kMJPEG));
+  EXPECT_GT(mpeg_ratio, mjpeg_ratio);
+}
+
+TEST(Model, AudioBlockBytesFollowQualityAndCodec) {
+  EXPECT_GT(audio_block_bytes(AudioQuality::kCD, CodingFormat::kPCM),
+            audio_block_bytes(AudioQuality::kTelephone, CodingFormat::kPCM));
+  EXPECT_GT(audio_block_bytes(AudioQuality::kCD, CodingFormat::kPCM),
+            audio_block_bytes(AudioQuality::kCD, CodingFormat::kMPEGAudio));
+}
+
+TEST(Model, DiscreteVariantsHaveZeroBlockRate) {
+  const Variant t = make_text_variant("t", Language::kEnglish, CodingFormat::kPlainText, 5000,
+                                      "server-a");
+  EXPECT_EQ(t.blocks_per_second, 0.0);
+  EXPECT_EQ(t.file_bytes, 5000);
+  const Variant i = make_image_variant("i", ImageQoS{ColorDepth::kColor, 640},
+                                       CodingFormat::kJPEG, "server-a");
+  EXPECT_EQ(i.blocks_per_second, 0.0);
+  EXPECT_GT(i.file_bytes, 0);
+}
+
+TEST(Model, DurationIsLongestComponent) {
+  MultimediaDocument doc = tiny_doc();
+  Monomedia audio;
+  audio.id = "doc-1/audio";
+  audio.kind = MediaKind::kAudio;
+  audio.duration_s = 90.0;
+  audio.variants.push_back(make_audio_variant("doc-1/audio/v0", AudioQuality::kCD,
+                                              CodingFormat::kPCM, 90.0, "server-a"));
+  doc.monomedia.push_back(std::move(audio));
+  EXPECT_DOUBLE_EQ(doc.duration_s(), 120.0);
+}
+
+TEST(Model, FindHelpers) {
+  const MultimediaDocument doc = tiny_doc();
+  ASSERT_NE(doc.find_monomedia("doc-1/video"), nullptr);
+  EXPECT_EQ(doc.find_monomedia("nope"), nullptr);
+  const Monomedia* m = doc.find_monomedia("doc-1/video");
+  ASSERT_NE(m->find_variant("doc-1/video/v0"), nullptr);
+  EXPECT_EQ(m->find_variant("nope"), nullptr);
+}
+
+TEST(Model, ValidateAcceptsGoodDocument) {
+  EXPECT_TRUE(validate(tiny_doc()).empty());
+}
+
+TEST(Model, ValidateCatchesEmptyDocument) {
+  MultimediaDocument doc;
+  doc.id = "empty";
+  EXPECT_FALSE(validate(doc).empty());
+}
+
+TEST(Model, ValidateCatchesKindMismatch) {
+  MultimediaDocument doc = tiny_doc();
+  doc.monomedia[0].variants[0].qos = AudioQoS{AudioQuality::kCD};
+  EXPECT_FALSE(validate(doc).empty());
+}
+
+TEST(Model, ValidateCatchesBlockLengthInversion) {
+  MultimediaDocument doc = tiny_doc();
+  doc.monomedia[0].variants[0].avg_block_bytes =
+      doc.monomedia[0].variants[0].max_block_bytes + 1;
+  EXPECT_FALSE(validate(doc).empty());
+}
+
+TEST(Model, ValidateCatchesDanglingSyncReferences) {
+  MultimediaDocument doc = tiny_doc();
+  doc.sync.temporal.push_back(
+      TemporalRelation{"doc-1/video", "ghost", TemporalRelation::Type::kParallel, 0.0});
+  EXPECT_FALSE(validate(doc).empty());
+  doc.sync.temporal.clear();
+  doc.sync.spatial.push_back(SpatialRegion{"ghost", 0, 0, 10, 10});
+  EXPECT_FALSE(validate(doc).empty());
+}
+
+TEST(Model, LayoutExtent) {
+  MultimediaDocument doc = tiny_doc();
+  doc.sync.spatial.push_back(SpatialRegion{"doc-1/video", 0, 0, 640, 480});
+  doc.sync.spatial.push_back(SpatialRegion{"doc-1/video", 640, 100, 320, 240});
+  const auto [w, h] = doc.layout_extent();
+  EXPECT_EQ(w, 960);
+  EXPECT_EQ(h, 480);
+}
+
+TEST(Catalog, AddFindRemove) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.add(tiny_doc()).empty());
+  EXPECT_EQ(catalog.size(), 1u);
+  auto doc = catalog.find("doc-1");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->title, "tiny");
+  EXPECT_TRUE(catalog.remove("doc-1"));
+  EXPECT_FALSE(catalog.remove("doc-1"));
+  EXPECT_EQ(catalog.find("doc-1"), nullptr);
+}
+
+TEST(Catalog, RejectsInvalidDocument) {
+  Catalog catalog;
+  MultimediaDocument bad;
+  bad.id = "bad";
+  EXPECT_FALSE(catalog.add(bad).empty());
+  EXPECT_EQ(catalog.size(), 0u);
+}
+
+TEST(Catalog, DocumentSurvivesRemoval) {
+  Catalog catalog;
+  catalog.add(tiny_doc());
+  auto doc = catalog.find("doc-1");
+  catalog.remove("doc-1");
+  // The shared_ptr keeps the document alive for in-flight negotiations.
+  EXPECT_EQ(doc->id, "doc-1");
+}
+
+TEST(Catalog, VariantsOnServer) {
+  Catalog catalog;
+  catalog.add(tiny_doc());
+  EXPECT_EQ(catalog.variants_on_server("server-a").size(), 1u);
+  EXPECT_TRUE(catalog.variants_on_server("server-zzz").empty());
+}
+
+TEST(Corpus, GeneratesRequestedCount) {
+  CorpusConfig config;
+  config.num_documents = 12;
+  const auto docs = generate_corpus(config);
+  EXPECT_EQ(docs.size(), 12u);
+}
+
+TEST(Corpus, EveryGeneratedDocumentValidates) {
+  CorpusConfig config;
+  config.num_documents = 40;
+  config.seed = 7;
+  for (const auto& doc : generate_corpus(config)) {
+    EXPECT_TRUE(validate(doc).empty()) << doc.id;
+  }
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  CorpusConfig config;
+  config.num_documents = 5;
+  config.seed = 99;
+  const auto a = generate_corpus(config);
+  const auto b = generate_corpus(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].copyright_cost, b[i].copyright_cost);
+    ASSERT_EQ(a[i].monomedia.size(), b[i].monomedia.size());
+    for (std::size_t m = 0; m < a[i].monomedia.size(); ++m) {
+      EXPECT_EQ(a[i].monomedia[m].variants.size(), b[i].monomedia[m].variants.size());
+    }
+  }
+}
+
+TEST(Corpus, UsesConfiguredServers) {
+  CorpusConfig config;
+  config.num_documents = 20;
+  config.servers = {"s1", "s2", "s3"};
+  std::set<ServerId> used;
+  for (const auto& doc : generate_corpus(config)) {
+    for (const auto& m : doc.monomedia) {
+      for (const auto& v : m.variants) used.insert(v.server);
+    }
+  }
+  for (const auto& s : used) {
+    EXPECT_TRUE(s == "s1" || s == "s2" || s == "s3") << s;
+  }
+  EXPECT_GE(used.size(), 2u);
+}
+
+TEST(Corpus, VideoLadderSizeRespectsBounds) {
+  CorpusConfig config;
+  config.num_documents = 30;
+  config.min_video_variants = 3;
+  config.max_video_variants = 5;
+  config.replication_probability = 0.0;
+  for (const auto& doc : generate_corpus(config)) {
+    const Monomedia* video = doc.find_monomedia(doc.id + "/video");
+    ASSERT_NE(video, nullptr);
+    EXPECT_GE(video->variants.size(), 3u);
+    EXPECT_LE(video->variants.size(), 5u);
+  }
+}
+
+TEST(Corpus, CopyrightWithinRange) {
+  CorpusConfig config;
+  config.num_documents = 25;
+  config.min_copyright = Money::cents(10);
+  config.max_copyright = Money::cents(20);
+  for (const auto& doc : generate_corpus(config)) {
+    EXPECT_GE(doc.copyright_cost, Money::cents(10));
+    EXPECT_LE(doc.copyright_cost, Money::cents(20));
+  }
+}
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,253 @@
+#include "core/enumerate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_system.hpp"
+
+namespace qosnp {
+namespace {
+
+using testing::TestSystem;
+
+TEST(Enumerate, CompatibleVariantsFiltersByDecoder) {
+  TestSystem sys;
+  auto doc = sys.catalog.find("article");
+  const UserProfile profile = TestSystem::tolerant_profile();
+  // A client that cannot decode MJPEG loses exactly that variant.
+  ClientMachine limited = sys.client;
+  limited.decoders = {CodingFormat::kMPEG1, CodingFormat::kPCM, CodingFormat::kADPCM,
+                      CodingFormat::kPlainText};
+  auto feasible = compatible_variants(doc, limited, profile.mm);
+  ASSERT_TRUE(feasible.ok()) << feasible.error();
+  ASSERT_EQ(feasible.value().monomedia.size(), 3u);
+  EXPECT_EQ(feasible.value().variants[0].size(), 4u);  // 5 video variants - MJPEG
+  for (const Variant* v : feasible.value().variants[0]) {
+    EXPECT_NE(v->format, CodingFormat::kMJPEG);
+  }
+}
+
+TEST(Enumerate, NoDecodableVariantFailsWithMonomediaName) {
+  TestSystem sys;
+  auto doc = sys.catalog.find("article");
+  ClientMachine mpeg2_only = sys.client;
+  mpeg2_only.decoders = {CodingFormat::kMPEG2, CodingFormat::kPCM, CodingFormat::kPlainText};
+  auto feasible = compatible_variants(doc, mpeg2_only, TestSystem::tolerant_profile().mm);
+  ASSERT_FALSE(feasible.ok());
+  EXPECT_NE(feasible.error().find("article/video"), std::string::npos);
+}
+
+TEST(Enumerate, UnrequestedMediaAreSkipped) {
+  TestSystem sys;
+  auto doc = sys.catalog.find("article");
+  UserProfile video_only = TestSystem::tolerant_profile();
+  video_only.mm.audio.reset();
+  video_only.mm.text.reset();
+  auto feasible = compatible_variants(doc, sys.client, video_only.mm);
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_EQ(feasible.value().monomedia.size(), 1u);
+  EXPECT_EQ(feasible.value().monomedia[0]->kind, MediaKind::kVideo);
+}
+
+TEST(Enumerate, RequestingNothingPresentFails) {
+  TestSystem sys;
+  auto doc = sys.catalog.find("article");
+  UserProfile image_only;
+  image_only.name = "image-only";
+  image_only.mm.image = ImageProfile{};
+  auto feasible = compatible_variants(doc, sys.client, image_only.mm);
+  EXPECT_FALSE(feasible.ok());  // the article carries no image
+}
+
+TEST(Enumerate, CombinationCountIsProduct) {
+  TestSystem sys;
+  auto doc = sys.catalog.find("article");
+  auto feasible = compatible_variants(doc, sys.client, TestSystem::tolerant_profile().mm);
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_EQ(feasible.value().combination_count(), 5u * 2u * 2u);
+}
+
+TEST(Enumerate, EnumeratesAllCombinationsDistinctly) {
+  TestSystem sys;
+  auto doc = sys.catalog.find("article");
+  const UserProfile profile = TestSystem::tolerant_profile();
+  auto feasible = compatible_variants(doc, sys.client, profile.mm);
+  ASSERT_TRUE(feasible.ok());
+  const OfferList list = enumerate_offers(feasible.value(), profile.mm, CostModel{});
+  EXPECT_EQ(list.offers.size(), 20u);
+  EXPECT_FALSE(list.truncated);
+  EXPECT_EQ(list.total_combinations, 20u);
+  std::set<std::string> signatures;
+  for (const SystemOffer& o : list.offers) {
+    ASSERT_EQ(o.components.size(), 3u);
+    std::string sig;
+    for (const auto& c : o.components) sig += c.variant->id + "|";
+    signatures.insert(sig);
+  }
+  EXPECT_EQ(signatures.size(), 20u);
+}
+
+TEST(Enumerate, EveryOfferIsPricedByFormulaOne) {
+  TestSystem sys;
+  auto doc = sys.catalog.find("article");
+  const UserProfile profile = TestSystem::tolerant_profile();
+  auto feasible = compatible_variants(doc, sys.client, profile.mm);
+  ASSERT_TRUE(feasible.ok());
+  const CostModel model;
+  const OfferList list = enumerate_offers(feasible.value(), profile.mm, model);
+  for (const SystemOffer& o : list.offers) {
+    std::vector<StreamRequirements> streams;
+    for (const auto& c : o.components) streams.push_back(c.requirements);
+    const CostBreakdown expected = model.document_cost(doc->copyright_cost, streams);
+    EXPECT_EQ(o.cost.total, expected.total);
+    EXPECT_EQ(o.cost.copyright, doc->copyright_cost);
+  }
+}
+
+TEST(Enumerate, TruncationIsExplicit) {
+  TestSystem sys;
+  auto doc = sys.catalog.find("article");
+  const UserProfile profile = TestSystem::tolerant_profile();
+  auto feasible = compatible_variants(doc, sys.client, profile.mm);
+  ASSERT_TRUE(feasible.ok());
+  EnumerationConfig config;
+  config.max_offers = 7;
+  const OfferList list = enumerate_offers(feasible.value(), profile.mm, CostModel{}, config);
+  EXPECT_EQ(list.offers.size(), 7u);
+  EXPECT_TRUE(list.truncated);
+  EXPECT_EQ(list.total_combinations, 20u);
+}
+
+TEST(Enumerate, StreamRequirementsMatchMapping) {
+  TestSystem sys;
+  auto doc = sys.catalog.find("article");
+  const UserProfile profile = TestSystem::tolerant_profile();
+  auto feasible = compatible_variants(doc, sys.client, profile.mm);
+  ASSERT_TRUE(feasible.ok());
+  const OfferList list = enumerate_offers(feasible.value(), profile.mm, CostModel{});
+  for (const SystemOffer& o : list.offers) {
+    for (const auto& c : o.components) {
+      const StreamRequirements expected =
+          map_variant(*c.variant, c.monomedia->duration_s, profile.mm.time);
+      EXPECT_EQ(c.requirements.max_bit_rate_bps, expected.max_bit_rate_bps);
+      EXPECT_EQ(c.requirements.avg_bit_rate_bps, expected.avg_bit_rate_bps);
+      EXPECT_EQ(c.requirements.guarantee, expected.guarantee);
+    }
+  }
+}
+
+TEST(Prune, QosDominatesIsPerMedium) {
+  EXPECT_TRUE(qos_dominates(MonomediaQoS{VideoQoS{ColorDepth::kColor, 25, 640}},
+                            MonomediaQoS{VideoQoS{ColorDepth::kGray, 15, 320}}));
+  EXPECT_FALSE(qos_dominates(MonomediaQoS{VideoQoS{ColorDepth::kGray, 25, 640}},
+                             MonomediaQoS{VideoQoS{ColorDepth::kColor, 15, 320}}));
+  EXPECT_FALSE(qos_dominates(MonomediaQoS{VideoQoS{}}, MonomediaQoS{AudioQoS{}}));
+  EXPECT_TRUE(qos_dominates(MonomediaQoS{TextQoS{Language::kFrench}},
+                            MonomediaQoS{TextQoS{Language::kFrench}}));
+  EXPECT_FALSE(qos_dominates(MonomediaQoS{TextQoS{Language::kFrench}},
+                             MonomediaQoS{TextQoS{Language::kEnglish}}));
+}
+
+TEST(Prune, DropsStrictlyWorseSameServerVariant) {
+  // An MJPEG variant with identical QoS but larger blocks than the MPEG-1
+  // variant on the same server can never be the better choice.
+  MultimediaDocument doc;
+  doc.id = "p";
+  Monomedia video;
+  video.id = "p/video";
+  video.kind = MediaKind::kVideo;
+  video.duration_s = 60.0;
+  const VideoQoS qos{ColorDepth::kColor, 25, 640};
+  video.variants = {
+      make_video_variant("p/video/mpeg", qos, CodingFormat::kMPEG1, 60.0, "server-a"),
+      make_video_variant("p/video/mjpeg", qos, CodingFormat::kMJPEG, 60.0, "server-a"),
+  };
+  doc.monomedia.push_back(std::move(video));
+  auto shared = std::make_shared<const MultimediaDocument>(std::move(doc));
+
+  TestSystem sys;
+  UserProfile profile = TestSystem::tolerant_profile();
+  profile.mm.audio.reset();
+  profile.mm.text.reset();
+  auto feasible = compatible_variants(shared, sys.client, profile.mm);
+  ASSERT_TRUE(feasible.ok());
+  ASSERT_EQ(feasible.value().variants[0].size(), 2u);
+  const std::size_t dropped = prune_dominated_variants(feasible.value());
+  EXPECT_EQ(dropped, 1u);
+  ASSERT_EQ(feasible.value().variants[0].size(), 1u);
+  EXPECT_EQ(feasible.value().variants[0][0]->id, "p/video/mpeg");
+}
+
+TEST(Prune, KeepsCrossServerReplicasAndOneOfTiedPair) {
+  MultimediaDocument doc;
+  doc.id = "p2";
+  Monomedia video;
+  video.id = "p2/video";
+  video.kind = MediaKind::kVideo;
+  video.duration_s = 60.0;
+  const VideoQoS qos{ColorDepth::kColor, 25, 640};
+  video.variants = {
+      make_video_variant("p2/video/a", qos, CodingFormat::kMPEG1, 60.0, "server-a"),
+      make_video_variant("p2/video/b", qos, CodingFormat::kMPEG1, 60.0, "server-b"),
+      make_video_variant("p2/video/a2", qos, CodingFormat::kMPEG1, 60.0, "server-a"),
+  };
+  doc.monomedia.push_back(std::move(video));
+  auto shared = std::make_shared<const MultimediaDocument>(std::move(doc));
+
+  TestSystem sys;
+  UserProfile profile = TestSystem::tolerant_profile();
+  profile.mm.audio.reset();
+  profile.mm.text.reset();
+  auto feasible = compatible_variants(shared, sys.client, profile.mm);
+  ASSERT_TRUE(feasible.ok());
+  // The same-server exact duplicate is dropped, the cross-server replica kept.
+  EXPECT_EQ(prune_dominated_variants(feasible.value()), 1u);
+  ASSERT_EQ(feasible.value().variants[0].size(), 2u);
+  EXPECT_EQ(feasible.value().variants[0][0]->id, "p2/video/a");
+  EXPECT_EQ(feasible.value().variants[0][1]->id, "p2/video/b");
+}
+
+TEST(Prune, NeverDropsTheOnlyVariant) {
+  TestSystem sys;
+  auto doc = sys.catalog.find("article");
+  const UserProfile profile = TestSystem::tolerant_profile();
+  auto feasible = compatible_variants(doc, sys.client, profile.mm);
+  ASSERT_TRUE(feasible.ok());
+  prune_dominated_variants(feasible.value());
+  for (const auto& vs : feasible.value().variants) {
+    EXPECT_FALSE(vs.empty());
+  }
+}
+
+TEST(Prune, BestCommittedOfferUnchangedByPruning) {
+  // Pruning must not change which offer the negotiation commits.
+  TestSystem sys_plain;
+  TestSystem sys_pruned;
+  NegotiationConfig pruned_config;
+  pruned_config.enumeration.prune_dominated = true;
+  QoSManager plain(sys_plain.catalog, sys_plain.farm, *sys_plain.transport);
+  QoSManager pruned(sys_pruned.catalog, sys_pruned.farm, *sys_pruned.transport, CostModel{},
+                    pruned_config);
+  const UserProfile profile = TestSystem::tolerant_profile();
+  NegotiationOutcome a = plain.negotiate(sys_plain.client, "article", profile);
+  NegotiationOutcome b = pruned.negotiate(sys_pruned.client, "article", profile);
+  ASSERT_TRUE(a.has_commitment());
+  ASSERT_TRUE(b.has_commitment());
+  ASSERT_EQ(a.status, b.status);
+  const auto& ca = a.offers.offers[a.committed_index].components;
+  const auto& cb = b.offers.offers[b.committed_index].components;
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].variant->qos, cb[i].variant->qos);
+  }
+}
+
+TEST(Enumerate, NullDocumentFails) {
+  TestSystem sys;
+  auto feasible = compatible_variants(nullptr, sys.client, TestSystem::tolerant_profile().mm);
+  EXPECT_FALSE(feasible.ok());
+}
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,116 @@
+#include "media/qos.hpp"
+#include "media/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qosnp {
+namespace {
+
+TEST(MediaTypes, KindOfFormat) {
+  EXPECT_EQ(media_kind_of(CodingFormat::kMPEG1), MediaKind::kVideo);
+  EXPECT_EQ(media_kind_of(CodingFormat::kMJPEG), MediaKind::kVideo);
+  EXPECT_EQ(media_kind_of(CodingFormat::kPCM), MediaKind::kAudio);
+  EXPECT_EQ(media_kind_of(CodingFormat::kMPEGAudio), MediaKind::kAudio);
+  EXPECT_EQ(media_kind_of(CodingFormat::kPlainText), MediaKind::kText);
+  EXPECT_EQ(media_kind_of(CodingFormat::kJPEG), MediaKind::kImage);
+}
+
+TEST(MediaTypes, ColorLadderIsOrdered) {
+  EXPECT_LT(ColorDepth::kBlackWhite, ColorDepth::kGray);
+  EXPECT_LT(ColorDepth::kGray, ColorDepth::kColor);
+  EXPECT_LT(ColorDepth::kColor, ColorDepth::kSuperColor);
+}
+
+TEST(MediaTypes, AudioLadderIsOrdered) {
+  EXPECT_LT(AudioQuality::kTelephone, AudioQuality::kRadio);
+  EXPECT_LT(AudioQuality::kRadio, AudioQuality::kCD);
+}
+
+TEST(MediaTypes, SampleRates) {
+  EXPECT_EQ(sample_rate_hz(AudioQuality::kTelephone), 8'000);
+  EXPECT_EQ(sample_rate_hz(AudioQuality::kCD), 44'100);
+  EXPECT_EQ(bits_per_sample(AudioQuality::kTelephone), 8);
+  EXPECT_EQ(bits_per_sample(AudioQuality::kCD), 16);
+}
+
+TEST(MediaTypes, EnumRoundTrip) {
+  for (const auto kind : {MediaKind::kVideo, MediaKind::kAudio, MediaKind::kText,
+                          MediaKind::kImage}) {
+    EXPECT_EQ(parse_media_kind(to_string(kind)), kind);
+  }
+  for (const auto f : {CodingFormat::kMPEG1, CodingFormat::kMJPEG, CodingFormat::kPCM,
+                       CodingFormat::kPlainText, CodingFormat::kJPEG}) {
+    EXPECT_EQ(parse_coding_format(to_string(f)), f);
+  }
+  for (const auto c : {ColorDepth::kBlackWhite, ColorDepth::kGray, ColorDepth::kColor,
+                       ColorDepth::kSuperColor}) {
+    EXPECT_EQ(parse_color_depth(to_string(c)), c);
+  }
+  for (const auto a : {AudioQuality::kTelephone, AudioQuality::kRadio, AudioQuality::kCD}) {
+    EXPECT_EQ(parse_audio_quality(to_string(a)), a);
+  }
+  for (const auto l : {Language::kEnglish, Language::kFrench, Language::kGerman,
+                       Language::kSpanish}) {
+    EXPECT_EQ(parse_language(to_string(l)), l);
+  }
+  for (const auto g : {GuaranteeClass::kBestEffort, GuaranteeClass::kGuaranteed}) {
+    EXPECT_EQ(parse_guarantee_class(to_string(g)), g);
+  }
+}
+
+TEST(MediaTypes, ParseIsCaseInsensitiveWithAliases) {
+  EXPECT_EQ(parse_color_depth("GREY"), ColorDepth::kGray);
+  EXPECT_EQ(parse_color_depth("gray"), ColorDepth::kGray);
+  EXPECT_EQ(parse_color_depth("bw"), ColorDepth::kBlackWhite);
+  EXPECT_EQ(parse_audio_quality("cd"), AudioQuality::kCD);
+  EXPECT_EQ(parse_guarantee_class("BestEffort"), GuaranteeClass::kBestEffort);
+  EXPECT_FALSE(parse_color_depth("chartreuse").has_value());
+  EXPECT_FALSE(parse_media_kind("smellovision").has_value());
+}
+
+TEST(VideoQoS, MeetsIsComponentWise) {
+  const VideoQoS floor{ColorDepth::kGray, 15, 320};
+  EXPECT_TRUE((VideoQoS{ColorDepth::kColor, 25, 640}.meets(floor)));
+  EXPECT_TRUE((VideoQoS{ColorDepth::kGray, 15, 320}.meets(floor)));
+  EXPECT_FALSE((VideoQoS{ColorDepth::kBlackWhite, 25, 640}.meets(floor)));
+  EXPECT_FALSE((VideoQoS{ColorDepth::kColor, 10, 640}.meets(floor)));
+  EXPECT_FALSE((VideoQoS{ColorDepth::kColor, 25, 160}.meets(floor)));
+}
+
+TEST(VideoQoS, ClampedToGuiRanges) {
+  const VideoQoS wild{ColorDepth::kColor, 120, 4000};
+  const VideoQoS c = wild.clamped();
+  EXPECT_EQ(c.frame_rate_fps, kHdtvFrameRate);
+  EXPECT_EQ(c.resolution, kHdtvResolution);
+  const VideoQoS tiny{ColorDepth::kColor, 0, 1};
+  EXPECT_EQ(tiny.clamped().frame_rate_fps, kFrozenFrameRate);
+  EXPECT_EQ(tiny.clamped().resolution, kMinResolution);
+}
+
+TEST(AudioQoS, Meets) {
+  EXPECT_TRUE(AudioQoS{AudioQuality::kCD}.meets(AudioQoS{AudioQuality::kTelephone}));
+  EXPECT_FALSE(AudioQoS{AudioQuality::kTelephone}.meets(AudioQoS{AudioQuality::kCD}));
+}
+
+TEST(ImageQoS, Meets) {
+  const ImageQoS floor{ColorDepth::kGray, 320};
+  EXPECT_TRUE((ImageQoS{ColorDepth::kColor, 640}.meets(floor)));
+  EXPECT_FALSE((ImageQoS{ColorDepth::kBlackWhite, 640}.meets(floor)));
+}
+
+TEST(MonomediaQoS, KindDispatch) {
+  EXPECT_EQ(media_kind_of(MonomediaQoS{VideoQoS{}}), MediaKind::kVideo);
+  EXPECT_EQ(media_kind_of(MonomediaQoS{AudioQoS{}}), MediaKind::kAudio);
+  EXPECT_EQ(media_kind_of(MonomediaQoS{TextQoS{}}), MediaKind::kText);
+  EXPECT_EQ(media_kind_of(MonomediaQoS{ImageQoS{}}), MediaKind::kImage);
+}
+
+TEST(MonomediaQoS, ToStringMentionsValues) {
+  const std::string s = to_string(MonomediaQoS{VideoQoS{ColorDepth::kColor, 25, 640}});
+  EXPECT_NE(s.find("color"), std::string::npos);
+  EXPECT_NE(s.find("25"), std::string::npos);
+  EXPECT_NE(s.find("640"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qosnp

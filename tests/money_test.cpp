@@ -1,0 +1,106 @@
+#include "util/money.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qosnp {
+namespace {
+
+using namespace money_literals;
+
+TEST(Money, Constructors) {
+  EXPECT_EQ(Money::dollars(3).as_micros(), 3'000'000);
+  EXPECT_EQ(Money::cents(250).as_micros(), 2'500'000);
+  EXPECT_EQ(Money::micros(42).as_micros(), 42);
+  EXPECT_EQ((5_usd).as_micros(), 5'000'000);
+  EXPECT_EQ((75_cents).as_micros(), 750'000);
+}
+
+TEST(Money, FromDoubleRounds) {
+  EXPECT_EQ(Money::from_double(1.25).as_micros(), 1'250'000);
+  EXPECT_EQ(Money::from_double(0.0000004).as_micros(), 0);
+  EXPECT_EQ(Money::from_double(0.0000006).as_micros(), 1);
+  EXPECT_EQ(Money::from_double(-2.5).as_micros(), -2'500'000);
+}
+
+TEST(Money, Arithmetic) {
+  const Money a = Money::dollars(4);
+  const Money b = Money::cents(150);
+  EXPECT_EQ((a + b).as_micros(), 5'500'000);
+  EXPECT_EQ((a - b).as_micros(), 2'500'000);
+  EXPECT_EQ((-b).as_micros(), -1'500'000);
+  EXPECT_EQ((a * 3).as_micros(), 12'000'000);
+  EXPECT_EQ((3 * a).as_micros(), 12'000'000);
+  Money c = a;
+  c += b;
+  EXPECT_EQ(c.as_micros(), 5'500'000);
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(Money, ScaledRounds) {
+  EXPECT_EQ(Money::dollars(10).scaled(0.5).as_micros(), 5'000'000);
+  EXPECT_EQ(Money::micros(3).scaled(0.5).as_micros(), 2);  // llround(1.5) == 2
+  EXPECT_EQ(Money::dollars(1).scaled(0.0).as_micros(), 0);
+}
+
+TEST(Money, Comparisons) {
+  EXPECT_LT(Money::dollars(1), Money::dollars(2));
+  EXPECT_LE(Money::dollars(2), Money::dollars(2));
+  EXPECT_GT(Money::cents(101), Money::dollars(1));
+  EXPECT_EQ(Money::cents(100), Money::dollars(1));
+  EXPECT_TRUE(Money{}.is_zero());
+  EXPECT_TRUE((Money::dollars(-1)).is_negative());
+  EXPECT_FALSE(Money::dollars(1).is_negative());
+}
+
+TEST(Money, ToStringTwoDecimals) {
+  EXPECT_EQ(Money::dollars(6).to_string(), "$6.00");
+  EXPECT_EQ(Money::cents(450).to_string(), "$4.50");
+  EXPECT_EQ(Money::cents(5).to_string(), "$0.05");
+  EXPECT_EQ((-Money::cents(250)).to_string(), "-$2.50");
+}
+
+TEST(Money, ToStringSubCent) {
+  EXPECT_EQ(Money::micros(1'234'500).to_string(), "$1.2345");
+  EXPECT_EQ(Money::micros(500).to_string(), "$0.0005");
+}
+
+TEST(Money, StreamOperator) {
+  std::ostringstream os;
+  os << Money::cents(125);
+  EXPECT_EQ(os.str(), "$1.25");
+}
+
+TEST(Money, ParseBasics) {
+  EXPECT_EQ(Money::parse("12.34"), Money::cents(1234));
+  EXPECT_EQ(Money::parse("$12.34"), Money::cents(1234));
+  EXPECT_EQ(Money::parse("  $5"), Money::dollars(5));
+  EXPECT_EQ(Money::parse("-0.005"), Money::micros(-5'000));
+  EXPECT_EQ(Money::parse("+3.5"), Money::cents(350));
+}
+
+TEST(Money, ParseMalformedIsZero) {
+  EXPECT_TRUE(Money::parse("").is_zero());
+  EXPECT_TRUE(Money::parse("abc").is_zero());
+  EXPECT_TRUE(Money::parse("$").is_zero());
+  EXPECT_TRUE(Money::parse("-").is_zero());
+}
+
+TEST(Money, ParseRoundTripsToString) {
+  for (const std::int64_t cents : {0LL, 1LL, 99LL, 100LL, 12345LL, 600LL}) {
+    const Money m = Money::cents(cents);
+    EXPECT_EQ(Money::parse(m.to_string()), m) << m.to_string();
+  }
+}
+
+TEST(Money, ParseRoundTripsMicroPrecision) {
+  for (const std::int64_t micros : {1LL, 123LL, 59'523LL, 1'595'231LL, 999'999LL}) {
+    const Money m = Money::micros(micros);
+    EXPECT_EQ(Money::parse(m.to_string()), m) << m.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,259 @@
+// Integration tests of the full negotiation procedure: all five negotiation
+// statuses of paper Sec. 4 are reachable, and the procedure picks optimal
+// configurations.
+#include "core/qos_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_system.hpp"
+
+namespace qosnp {
+namespace {
+
+using testing::TestSystem;
+
+TEST(QoSManager, SucceedsOnSatisfiableRequest) {
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  const UserProfile profile = TestSystem::tolerant_profile();
+  NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
+  EXPECT_EQ(outcome.status, NegotiationStatus::kSucceeded);
+  ASSERT_TRUE(outcome.user_offer.has_value());
+  ASSERT_TRUE(outcome.has_commitment());
+  // The committed offer satisfies the requested QoS and budget.
+  EXPECT_TRUE(satisfies_user(outcome.offers.offers[outcome.committed_index], profile.mm));
+  // The user offer reports the desired video quality (the catalog has it).
+  EXPECT_EQ(outcome.user_offer->video->color, ColorDepth::kColor);
+  EXPECT_EQ(outcome.user_offer->video->frame_rate_fps, 25);
+  EXPECT_LE(outcome.user_offer->cost, profile.mm.cost.max_cost);
+}
+
+TEST(QoSManager, CommitsTheTopClassifiedOffer) {
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  const UserProfile profile = TestSystem::tolerant_profile();
+  NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
+  ASSERT_TRUE(outcome.has_commitment());
+  // With ample resources the very first (best) offer must be the one
+  // committed.
+  EXPECT_EQ(outcome.committed_index, 0u);
+  EXPECT_EQ(outcome.offers.offers[0].sns, Sns::kDesirable);
+}
+
+TEST(QoSManager, UnknownDocumentFailsWithoutOffer) {
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  NegotiationOutcome outcome =
+      manager.negotiate(sys.client, "no-such-doc", TestSystem::tolerant_profile());
+  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedWithoutOffer);
+  EXPECT_FALSE(outcome.has_commitment());
+}
+
+TEST(QoSManager, LocalFailureReturnsLocalOffer) {
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  ClientMachine bw = sys.client;
+  bw.screen = ScreenSpec{640, 480, ColorDepth::kBlackWhite};
+  UserProfile profile = TestSystem::tolerant_profile();
+  profile.mm.video->worst = VideoQoS{ColorDepth::kColor, 10, 320};  // colour floor
+  NegotiationOutcome outcome = manager.negotiate(bw, "article", profile);
+  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedWithLocalOffer);
+  ASSERT_TRUE(outcome.user_offer.has_value());
+  // The local offer is clipped to the black&white screen.
+  EXPECT_EQ(outcome.user_offer->video->color, ColorDepth::kBlackWhite);
+  EXPECT_FALSE(outcome.has_commitment());
+}
+
+TEST(QoSManager, UndecodableDocumentFailsWithoutOffer) {
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  ClientMachine odd = sys.client;
+  odd.decoders = {CodingFormat::kH261, CodingFormat::kPCM, CodingFormat::kPlainText};
+  NegotiationOutcome outcome =
+      manager.negotiate(odd, "article", TestSystem::tolerant_profile());
+  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedWithoutOffer);
+  EXPECT_FALSE(outcome.user_offer.has_value());
+}
+
+TEST(QoSManager, ResourceShortageFailsTryLater) {
+  TestSystem sys(/*access_bps=*/50'000);  // not even the cheapest offer fits
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  NegotiationOutcome outcome =
+      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedTryLater);
+  EXPECT_FALSE(outcome.has_commitment());
+  EXPECT_FALSE(outcome.problems.empty());
+}
+
+TEST(QoSManager, UnsatisfiableQosYieldsFailedWithOffer) {
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  UserProfile greedy = TestSystem::tolerant_profile();
+  // Nothing in the catalog offers HDTV rate; the floor is above every variant.
+  greedy.mm.video->desired = VideoQoS{ColorDepth::kSuperColor, 60, 1920};
+  greedy.mm.video->worst = VideoQoS{ColorDepth::kSuperColor, 60, 1920};
+  NegotiationOutcome outcome = manager.negotiate(sys.client, "article", greedy);
+  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedWithOffer);
+  ASSERT_TRUE(outcome.user_offer.has_value());
+  ASSERT_TRUE(outcome.has_commitment());
+  // The best the system can do is offered, even though it violates the floor.
+  EXPECT_EQ(outcome.offers.offers[outcome.committed_index].sns, Sns::kConstraint);
+}
+
+TEST(QoSManager, TightBudgetPrefersCheaperSatisfyingOffer) {
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  UserProfile profile = TestSystem::tolerant_profile();
+  profile.importance.cost_per_dollar = 10.0;  // cost-sensitive user
+  NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
+  ASSERT_TRUE(outcome.has_commitment());
+  const SystemOffer& committed = outcome.offers.offers[outcome.committed_index];
+  // Every satisfying offer with a higher OIF would have been committed
+  // instead; verify nothing satisfying is ranked above the committed one.
+  for (std::size_t i = 0; i < outcome.committed_index; ++i) {
+    EXPECT_FALSE(satisfies_user(outcome.offers.offers[i], profile.mm) &&
+                 outcome.offers.offers[i].oif > committed.oif);
+  }
+}
+
+TEST(QoSManager, ClassificationOrderIsBestToWorst) {
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  NegotiationOutcome outcome =
+      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  const auto& offers = outcome.offers.offers;
+  for (std::size_t i = 1; i < offers.size(); ++i) {
+    // SNS non-decreasing; OIF non-increasing within an SNS class.
+    EXPECT_LE(offers[i - 1].sns, offers[i].sns);
+    if (offers[i - 1].sns == offers[i].sns) {
+      EXPECT_GE(offers[i - 1].oif, offers[i].oif);
+    }
+  }
+}
+
+TEST(QoSManager, FallsBackToNextOfferWhenBestIsFull) {
+  // Server-a hosts the best variants; saturate it so that negotiation must
+  // fall back to server-b configurations.
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  MediaServer* a = sys.farm.find("server-a");
+  a->degrade(0.999);  // effectively no disk bandwidth left
+  NegotiationOutcome outcome =
+      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  ASSERT_TRUE(outcome.has_commitment()) << outcome.problems.empty();
+  // The continuous (guaranteed) streams no longer fit on server-a; only a
+  // tiny best-effort text delivery may still land there.
+  for (const auto& c : outcome.offers.offers[outcome.committed_index].components) {
+    if (c.requirements.guarantee == GuaranteeClass::kGuaranteed) {
+      EXPECT_EQ(c.variant->server, "server-b") << c.variant->id;
+    }
+  }
+}
+
+TEST(QoSManager, CommitFirstHonoursExclusions) {
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  NegotiationOutcome outcome =
+      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  ASSERT_TRUE(outcome.has_commitment());
+  const std::size_t first = outcome.committed_index;
+  outcome.commitment.release();
+  const std::vector<std::size_t> exclude = {first};
+  CommitAttempt attempt = manager.commit_first(sys.client, outcome.offers,
+                                               TestSystem::tolerant_profile().mm, exclude);
+  ASSERT_TRUE(attempt.ok());
+  EXPECT_NE(attempt.index, first);
+}
+
+TEST(QoSManager, NegotiationLeavesNoResidueOnFailure) {
+  TestSystem sys(/*access_bps=*/50'000);
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  EXPECT_EQ(sys.transport->active_flows(), 0u);
+  for (const auto& id : sys.farm.list()) {
+    EXPECT_EQ(sys.farm.find(id)->usage().reserved_bps, 0);
+  }
+}
+
+TEST(QoSManager, RepeatedNegotiationsConsumeCapacity) {
+  // Each SUCCEEDED negotiation holds resources; eventually requests are
+  // refused (FAILEDTRYLATER) or degraded — never wrongly SUCCEEDED.
+  TestSystem sys(/*access_bps=*/200'000'000, /*backbone_bps=*/20'000'000,
+                 /*server_bps=*/200'000'000);
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  const UserProfile profile = TestSystem::tolerant_profile();
+  std::vector<NegotiationOutcome> held;
+  int succeeded = 0;
+  int degraded_or_refused = 0;
+  for (int i = 0; i < 40; ++i) {
+    NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
+    if (outcome.status == NegotiationStatus::kSucceeded) {
+      ++succeeded;
+    } else {
+      ++degraded_or_refused;
+    }
+    if (outcome.has_commitment()) held.push_back(std::move(outcome));
+  }
+  EXPECT_GT(succeeded, 0);
+  EXPECT_GT(degraded_or_refused, 0);
+  // Backbone is never oversubscribed.
+  EXPECT_LE(sys.transport->link_usage(0).reserved_bps, 20'000'000);
+}
+
+TEST(QoSManager, TruncationIsReportedAsProblem) {
+  TestSystem sys;
+  NegotiationConfig config;
+  config.enumeration.max_offers = 3;  // the article yields 20 combinations
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport, CostModel{}, config);
+  NegotiationOutcome outcome =
+      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  ASSERT_TRUE(outcome.offers.truncated);
+  bool mentioned = false;
+  for (const auto& p : outcome.problems) {
+    mentioned |= p.find("truncated") != std::string::npos;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST(QoSManager, NegotiateDocumentRejectsNull) {
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  NegotiationOutcome outcome =
+      manager.negotiate_document(sys.client, nullptr, TestSystem::tolerant_profile());
+  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedWithoutOffer);
+}
+
+TEST(QoSManager, NegotiateDocumentWorksWithoutCatalogEntry) {
+  // Renegotiation path: the document may have been dropped from the catalog
+  // while a session still holds it.
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  auto doc = sys.catalog.find("article");
+  sys.catalog.remove("article");
+  NegotiationOutcome outcome =
+      manager.negotiate_document(sys.client, doc, TestSystem::tolerant_profile());
+  EXPECT_EQ(outcome.status, NegotiationStatus::kSucceeded);
+}
+
+TEST(QoSManager, ParallelClassificationPathProducesSameOutcome) {
+  TestSystem sys;
+  NegotiationConfig serial_config;
+  serial_config.parallel_threshold = 0;
+  NegotiationConfig parallel_config;
+  parallel_config.parallel_threshold = 1;
+  QoSManager serial(sys.catalog, sys.farm, *sys.transport, CostModel{}, serial_config);
+  NegotiationOutcome a = serial.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  a.commitment.release();
+  QoSManager parallel(sys.catalog, sys.farm, *sys.transport, CostModel{}, parallel_config);
+  NegotiationOutcome b =
+      parallel.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  ASSERT_EQ(a.offers.offers.size(), b.offers.offers.size());
+  for (std::size_t i = 0; i < a.offers.offers.size(); ++i) {
+    EXPECT_EQ(a.offers.offers[i].components[0].variant->id,
+              b.offers.offers[i].components[0].variant->id);
+  }
+  EXPECT_EQ(a.committed_index, b.committed_index);
+}
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,111 @@
+#include "qosmap/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "document/corpus.hpp"
+
+namespace qosnp {
+namespace {
+
+TEST(QosMap, VideoBitRatesFollowPaperFormula) {
+  // maxBitRate = (maximum frame length) x (frame rate)
+  // avgBitRate = (average frame length) x (frame rate)
+  Variant v = make_video_variant("v", VideoQoS{ColorDepth::kColor, 25, 640},
+                                 CodingFormat::kMPEG1, 60.0, "s");
+  const StreamRequirements req = map_variant(v, 60.0, TimeProfile{});
+  EXPECT_EQ(req.max_bit_rate_bps, v.max_block_bytes * 8 * 25);
+  EXPECT_EQ(req.avg_bit_rate_bps, v.avg_block_bytes * 8 * 25);
+  EXPECT_GE(req.max_bit_rate_bps, req.avg_bit_rate_bps);
+}
+
+TEST(QosMap, VideoTargetsMatchSte90Constants) {
+  Variant v = make_video_variant("v", VideoQoS{ColorDepth::kColor, 25, 640},
+                                 CodingFormat::kMPEG1, 60.0, "s");
+  const StreamRequirements req = map_variant(v, 60.0, TimeProfile{});
+  EXPECT_DOUBLE_EQ(req.jitter_ms, 10.0);   // [Ste 90] video jitter
+  EXPECT_DOUBLE_EQ(req.loss_rate, 0.003);  // [Ste 90] video loss rate
+  EXPECT_EQ(req.guarantee, GuaranteeClass::kGuaranteed);
+  EXPECT_DOUBLE_EQ(req.duration_s, 60.0);
+}
+
+TEST(QosMap, AudioBitRatesFollowPaperFormula) {
+  Variant v = make_audio_variant("a", AudioQuality::kCD, CodingFormat::kPCM, 30.0, "s");
+  const StreamRequirements req = map_variant(v, 30.0, TimeProfile{});
+  EXPECT_EQ(req.avg_bit_rate_bps,
+            static_cast<std::int64_t>(v.avg_block_bytes * 8 * v.blocks_per_second));
+  // CD PCM stereo: 44100 Hz x 16 bit x 2 ch = ~1.41 Mbit/s.
+  EXPECT_NEAR(static_cast<double>(req.avg_bit_rate_bps), 44100.0 * 16 * 2, 44100.0 * 16 * 2 * 0.02);
+  EXPECT_EQ(req.guarantee, GuaranteeClass::kGuaranteed);
+}
+
+TEST(QosMap, HigherQualityNeedsMoreThroughput) {
+  const TimeProfile time;
+  Variant lo = make_video_variant("lo", VideoQoS{ColorDepth::kGray, 10, 320},
+                                  CodingFormat::kMPEG1, 60.0, "s");
+  Variant hi = make_video_variant("hi", VideoQoS{ColorDepth::kSuperColor, 30, 1280},
+                                  CodingFormat::kMPEG1, 60.0, "s");
+  EXPECT_GT(map_variant(hi, 60.0, time).avg_bit_rate_bps,
+            map_variant(lo, 60.0, time).avg_bit_rate_bps);
+}
+
+TEST(QosMap, DiscreteMediaPacedByDeliveryDeadline) {
+  Variant t = make_text_variant("t", Language::kEnglish, CodingFormat::kPlainText, 10'000, "s");
+  TimeProfile time;
+  time.delivery_time_s = 10.0;
+  const StreamRequirements req = map_variant(t, 0.0, time);
+  EXPECT_EQ(req.max_bit_rate_bps, 10'000 * 8 / 10);
+  EXPECT_EQ(req.avg_bit_rate_bps, req.max_bit_rate_bps);
+  EXPECT_EQ(req.guarantee, GuaranteeClass::kBestEffort);
+  EXPECT_DOUBLE_EQ(req.duration_s, 10.0);
+}
+
+TEST(QosMap, TighterDeadlineNeedsMoreThroughput) {
+  Variant img = make_image_variant("i", ImageQoS{ColorDepth::kColor, 640},
+                                   CodingFormat::kJPEG, "s");
+  TimeProfile fast;
+  fast.delivery_time_s = 2.0;
+  TimeProfile slow;
+  slow.delivery_time_s = 20.0;
+  EXPECT_GT(map_variant(img, 0.0, fast).max_bit_rate_bps,
+            map_variant(img, 0.0, slow).max_bit_rate_bps);
+}
+
+TEST(QosMap, ZeroDeadlineIsGuarded) {
+  Variant t = make_text_variant("t", Language::kEnglish, CodingFormat::kPlainText, 1'000, "s");
+  TimeProfile time;
+  time.delivery_time_s = 0.0;
+  const StreamRequirements req = map_variant(t, 0.0, time);
+  EXPECT_GT(req.max_bit_rate_bps, 0);
+}
+
+TEST(QosMap, MediumTargetsDistinguishMedia) {
+  EXPECT_LT(medium_targets(MediaKind::kAudio).jitter_ms,
+            medium_targets(MediaKind::kVideo).jitter_ms);
+  EXPECT_LT(medium_targets(MediaKind::kAudio).loss_rate,
+            medium_targets(MediaKind::kVideo).loss_rate);
+  EXPECT_DOUBLE_EQ(medium_targets(MediaKind::kText).loss_rate, 0.0);
+}
+
+TEST(QosMap, DescribeMentionsRates) {
+  Variant v = make_video_variant("v", VideoQoS{ColorDepth::kColor, 25, 640},
+                                 CodingFormat::kMPEG1, 60.0, "s");
+  const std::string s = map_variant(v, 60.0, TimeProfile{}).describe();
+  EXPECT_NE(s.find("kbit/s"), std::string::npos);
+  EXPECT_NE(s.find("guaranteed"), std::string::npos);
+}
+
+// Parameterised sweep: for every frame rate the formula holds exactly.
+class FrameRateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrameRateSweep, MaxBitRateIsMaxFrameTimesRate) {
+  const int fps = GetParam();
+  Variant v = make_video_variant("v", VideoQoS{ColorDepth::kColor, fps, 640},
+                                 CodingFormat::kMPEG2, 60.0, "s");
+  const StreamRequirements req = map_variant(v, 60.0, TimeProfile{});
+  EXPECT_EQ(req.max_bit_rate_bps, v.max_block_bytes * 8 * fps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, FrameRateSweep, ::testing::Values(1, 5, 10, 15, 24, 25, 30, 60));
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,64 @@
+#include "sim/replicate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qosnp {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.corpus.num_documents = 8;
+  config.corpus.seed = 3;
+  config.num_clients = 4;
+  config.arrival_rate_per_s = 0.05;
+  config.sim_duration_s = 400.0;
+  config.seed = 11;
+  return config;
+}
+
+TEST(ReplicatedStat, MeanAndStddev) {
+  const auto stat = ReplicatedStat::of({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(stat.mean, 2.5);
+  EXPECT_NEAR(stat.stddev, 1.2909944, 1e-6);  // sample stddev
+  const auto single = ReplicatedStat::of({7.0});
+  EXPECT_DOUBLE_EQ(single.mean, 7.0);
+  EXPECT_DOUBLE_EQ(single.stddev, 0.0);
+  const auto empty = ReplicatedStat::of({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+TEST(Replicate, MeanIsAverageOfIndividualRuns) {
+  const ExperimentConfig base = tiny_config();
+  const ReplicatedResult result = replicate(base, 3);
+  EXPECT_EQ(result.replications, 3);
+  double sum = 0.0;
+  for (int r = 0; r < 3; ++r) {
+    ExperimentConfig config = base;
+    config.seed = base.seed + static_cast<std::uint64_t>(r);
+    sum += run_experiment(config).metrics.service_rate();
+  }
+  EXPECT_NEAR(result.service_rate.mean, sum / 3.0, 1e-12);
+}
+
+TEST(Replicate, DeterministicAcrossCalls) {
+  const ReplicatedResult a = replicate(tiny_config(), 3);
+  const ReplicatedResult b = replicate(tiny_config(), 3);
+  EXPECT_DOUBLE_EQ(a.service_rate.mean, b.service_rate.mean);
+  EXPECT_DOUBLE_EQ(a.blocking.stddev, b.blocking.stddev);
+  EXPECT_DOUBLE_EQ(a.revenue_dollars.mean, b.revenue_dollars.mean);
+}
+
+TEST(Replicate, SeedsActuallyVary) {
+  // With more than one seed the runs differ, so a nonzero spread appears in
+  // at least one headline metric under a loaded configuration.
+  ExperimentConfig config = tiny_config();
+  config.arrival_rate_per_s = 0.5;
+  config.backbone_bps = 40'000'000;
+  const ReplicatedResult result = replicate(config, 4);
+  EXPECT_GT(result.service_rate.stddev + result.blocking.stddev +
+                result.revenue_dollars.stddev,
+            0.0);
+}
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,96 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_system.hpp"
+
+namespace qosnp {
+namespace {
+
+using testing::TestSystem;
+
+TEST(Report, SucceededWindowShowsOfferAndCost) {
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  NegotiationOutcome outcome =
+      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  ASSERT_EQ(outcome.status, NegotiationStatus::kSucceeded);
+  const std::string window = render_information_window(outcome);
+  EXPECT_NE(window.find("SUCCEEDED"), std::string::npos);
+  EXPECT_NE(window.find("video:"), std::string::npos);
+  EXPECT_NE(window.find("audio:"), std::string::npos);
+  EXPECT_NE(window.find("cost:"), std::string::npos);
+  EXPECT_NE(window.find("choice period"), std::string::npos);
+  EXPECT_NE(window.find("reserved: offer"), std::string::npos);
+}
+
+TEST(Report, LocalOfferWindowExplainsTheFloor) {
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  ClientMachine bw = sys.client;
+  bw.screen = ScreenSpec{640, 480, ColorDepth::kBlackWhite};
+  UserProfile profile = TestSystem::tolerant_profile();
+  profile.mm.video->worst = VideoQoS{ColorDepth::kColor, 10, 320};
+  NegotiationOutcome outcome = manager.negotiate(bw, "article", profile);
+  ASSERT_EQ(outcome.status, NegotiationStatus::kFailedWithLocalOffer);
+  const std::string window = render_information_window(outcome);
+  EXPECT_NE(window.find("FAILEDWITHLOCALOFFER"), std::string::npos);
+  EXPECT_NE(window.find("note:"), std::string::npos);
+  EXPECT_NE(window.find("renegotiate"), std::string::npos);
+}
+
+TEST(Report, TryLaterWindowSuggestsRetry) {
+  TestSystem sys(/*access_bps=*/50'000);
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  NegotiationOutcome outcome =
+      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  ASSERT_EQ(outcome.status, NegotiationStatus::kFailedTryLater);
+  const std::string window = render_information_window(outcome);
+  EXPECT_NE(window.find("Try again later"), std::string::npos);
+}
+
+TEST(Report, SummaryIsOneLine) {
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  NegotiationOutcome outcome =
+      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  const std::string summary = render_summary(outcome);
+  EXPECT_EQ(summary.find('\n'), std::string::npos);
+  EXPECT_NE(summary.find("SUCCEEDED"), std::string::npos);
+}
+
+TEST(Report, ClassificationTableMarksTheCommittedOffer) {
+  TestSystem sys;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport);
+  const UserProfile profile = TestSystem::tolerant_profile();
+  NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
+  ASSERT_TRUE(outcome.has_commitment());
+  const std::string table = render_classification_table(outcome, profile.mm, 5);
+  EXPECT_NE(table.find("> 1"), std::string::npos);  // rank 1 committed
+  EXPECT_NE(table.find("DESIRABLE"), std::string::npos);
+  EXPECT_NE(table.find("article/video"), std::string::npos);
+  EXPECT_NE(table.find("... "), std::string::npos);  // 20 offers, 5 rows
+}
+
+TEST(Report, ClassificationTableHandlesEmptyOutcome) {
+  NegotiationOutcome empty;
+  const std::string table = render_classification_table(empty, MMProfile{});
+  EXPECT_NE(table.find("classified 0 system offers"), std::string::npos);
+}
+
+TEST(Report, EveryStatusRendersNonEmpty) {
+  // Synthetic outcomes for statuses not easily produced above.
+  for (const NegotiationStatus status :
+       {NegotiationStatus::kSucceeded, NegotiationStatus::kFailedWithOffer,
+        NegotiationStatus::kFailedTryLater, NegotiationStatus::kFailedWithoutOffer,
+        NegotiationStatus::kFailedWithLocalOffer}) {
+    NegotiationOutcome outcome;
+    outcome.status = status;
+    const std::string window = render_information_window(outcome);
+    EXPECT_NE(window.find(to_string(status)), std::string::npos);
+    EXPECT_GT(window.size(), 50u);
+  }
+}
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,127 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace qosnp {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(8);
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Rng rng(10);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(11);
+  std::array<int, 5> seen{};
+  for (int i = 0; i < 5'000; ++i) seen[rng.below(5)]++;
+  for (int count : seen) EXPECT_GT(count, 700);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(12);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5'000; ++i) {
+    const auto v = rng.between(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  const double rate = 0.25;
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.1);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, WeightedPickRespectsWeights) {
+  Rng rng(15);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::array<int, 3> seen{};
+  for (int i = 0; i < 40'000; ++i) seen[rng.weighted_pick(weights)]++;
+  EXPECT_EQ(seen[1], 0);
+  EXPECT_NEAR(static_cast<double>(seen[2]) / seen[0], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedPickZeroTotalFallsBack) {
+  Rng rng(16);
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.weighted_pick(weights), 0u);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng a(99);
+  Rng b(99);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  }
+}
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,139 @@
+#include "server/media_server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qosnp {
+namespace {
+
+StreamRequirements stream(std::int64_t bps, GuaranteeClass g = GuaranteeClass::kGuaranteed) {
+  StreamRequirements req;
+  req.max_bit_rate_bps = bps;
+  req.avg_bit_rate_bps = bps / 2 > 0 ? bps / 2 : bps;
+  req.guarantee = g;
+  req.duration_s = 60.0;
+  return req;
+}
+
+MediaServerConfig small_server() {
+  MediaServerConfig config;
+  config.id = "srv";
+  config.node = "srv-node";
+  config.disk_bandwidth_bps = 10'000'000;
+  config.max_sessions = 3;
+  return config;
+}
+
+TEST(MediaServer, AdmitAndRelease) {
+  MediaServer server(small_server());
+  auto s = server.admit(stream(4'000'000));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(server.usage().reserved_bps, 4'000'000);
+  EXPECT_EQ(server.usage().sessions, 1);
+  EXPECT_TRUE(server.release(s.value()));
+  EXPECT_FALSE(server.release(s.value()));
+  EXPECT_EQ(server.usage().reserved_bps, 0);
+}
+
+TEST(MediaServer, BandwidthAdmissionControl) {
+  MediaServer server(small_server());
+  ASSERT_TRUE(server.admit(stream(6'000'000)).ok());
+  EXPECT_FALSE(server.admit(stream(6'000'000)).ok());
+  EXPECT_TRUE(server.admit(stream(4'000'000)).ok());
+}
+
+TEST(MediaServer, SessionSlotAdmissionControl) {
+  MediaServer server(small_server());
+  ASSERT_TRUE(server.admit(stream(1'000)).ok());
+  ASSERT_TRUE(server.admit(stream(1'000)).ok());
+  ASSERT_TRUE(server.admit(stream(1'000)).ok());
+  EXPECT_FALSE(server.admit(stream(1'000)).ok());  // 3 slots
+}
+
+TEST(MediaServer, BestEffortReservesAverage) {
+  MediaServer server(small_server());
+  ASSERT_TRUE(server.admit(stream(8'000'000, GuaranteeClass::kBestEffort)).ok());
+  EXPECT_EQ(server.usage().reserved_bps, 4'000'000);
+}
+
+TEST(MediaServer, RejectsZeroRate) {
+  MediaServer server(small_server());
+  EXPECT_FALSE(server.admit(stream(0)).ok());
+}
+
+TEST(MediaServer, FailureInjection) {
+  MediaServer server(small_server());
+  auto s1 = server.admit(stream(1'000'000));
+  auto s2 = server.admit(stream(1'000'000));
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  const auto affected = server.fail();
+  EXPECT_EQ(affected.size(), 2u);
+  EXPECT_TRUE(server.failed());
+  EXPECT_FALSE(server.admit(stream(1'000)).ok());
+  server.recover();
+  EXPECT_FALSE(server.failed());
+  EXPECT_TRUE(server.admit(stream(1'000)).ok());
+}
+
+TEST(MediaServer, DegradationReportsVictims) {
+  MediaServer server(small_server());
+  auto s1 = server.admit(stream(4'000'000));
+  auto s2 = server.admit(stream(4'000'000));
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  // 8 Mbit/s reserved; halving leaves 5 Mbit/s -> newest stream is a victim.
+  const auto victims = server.degrade(0.5);
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], s2.value());
+  EXPECT_FALSE(server.admit(stream(2'000'000)).ok());
+  server.restore();
+  EXPECT_TRUE(server.admit(stream(2'000'000)).ok());
+}
+
+TEST(ServerFarm, RegistryBasics) {
+  ServerFarm farm;
+  EXPECT_TRUE(farm.add(small_server()));
+  EXPECT_FALSE(farm.add(small_server()));  // duplicate id
+  EXPECT_NE(farm.find("srv"), nullptr);
+  EXPECT_EQ(farm.find("ghost"), nullptr);
+  ASSERT_EQ(farm.list().size(), 1u);
+  EXPECT_EQ(farm.list()[0], "srv");
+}
+
+TEST(ScopedStream, ReleasesOnDestruction) {
+  MediaServer server(small_server());
+  {
+    auto s = server.admit(stream(1'000'000));
+    ASSERT_TRUE(s.ok());
+    ScopedStream scoped(&server, s.value());
+    EXPECT_EQ(server.usage().sessions, 1);
+  }
+  EXPECT_EQ(server.usage().sessions, 0);
+}
+
+TEST(ScopedStream, DismissKeepsStream) {
+  MediaServer server(small_server());
+  {
+    auto s = server.admit(stream(1'000'000));
+    ASSERT_TRUE(s.ok());
+    ScopedStream scoped(&server, s.value());
+    scoped.dismiss();
+  }
+  EXPECT_EQ(server.usage().sessions, 1);
+}
+
+TEST(ScopedStream, MoveSemantics) {
+  MediaServer server(small_server());
+  auto s = server.admit(stream(1'000'000));
+  ASSERT_TRUE(s.ok());
+  ScopedStream a(&server, s.value());
+  ScopedStream b;
+  b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  b.reset();
+  EXPECT_EQ(server.usage().sessions, 0);
+}
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,320 @@
+// Step 6 (confirmation within choicePeriod) and the adaptation procedure.
+#include "session/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_system.hpp"
+
+namespace qosnp {
+namespace {
+
+using testing::TestSystem;
+
+struct SessionFixture : public ::testing::Test {
+  SessionFixture()
+      : manager(sys.catalog, sys.farm, *sys.transport),
+        sessions(manager) {}
+
+  SessionId negotiate_and_open(double now_s = 0.0,
+                               std::optional<UserProfile> profile_in = std::nullopt) {
+    UserProfile profile = profile_in.value_or(TestSystem::tolerant_profile());
+    NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
+    EXPECT_TRUE(outcome.has_commitment());
+    auto opened = sessions.open(sys.client, profile, std::move(outcome), now_s);
+    EXPECT_TRUE(opened.ok());
+    return opened.value();
+  }
+
+  std::int64_t total_reserved() {
+    std::int64_t total = 0;
+    for (const auto& id : sys.farm.list()) total += sys.farm.find(id)->usage().reserved_bps;
+    return total;
+  }
+
+  TestSystem sys;
+  QoSManager manager;
+  SessionManager sessions;
+};
+
+TEST_F(SessionFixture, OpenStartsPendingWithDeadline) {
+  const SessionId id = negotiate_and_open(10.0);
+  auto view = sessions.snapshot(id);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->state, SessionState::kPendingConfirmation);
+  EXPECT_DOUBLE_EQ(view->confirm_deadline_s,
+                   10.0 + TestSystem::tolerant_profile().mm.time.choice_period_s);
+  EXPECT_GT(view->offer_count, 1u);
+  ASSERT_TRUE(view->user_offer.has_value());
+}
+
+TEST_F(SessionFixture, ConfirmWithinPeriodStartsPlaying) {
+  const SessionId id = negotiate_and_open(0.0);
+  auto ok = sessions.confirm(id, 5.0);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(sessions.snapshot(id)->state, SessionState::kPlaying);
+}
+
+TEST_F(SessionFixture, ConfirmAfterDeadlineAbortsAndReleases) {
+  const SessionId id = negotiate_and_open(0.0);
+  EXPECT_GT(total_reserved(), 0);
+  auto late = sessions.confirm(id, 1'000.0);  // way past choicePeriod (30s)
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(sessions.snapshot(id)->state, SessionState::kAborted);
+  EXPECT_EQ(total_reserved(), 0);
+  EXPECT_EQ(sys.transport->active_flows(), 0u);
+}
+
+TEST_F(SessionFixture, RejectReleasesResources) {
+  const SessionId id = negotiate_and_open();
+  EXPECT_TRUE(sessions.reject(id));
+  EXPECT_FALSE(sessions.reject(id));  // already finished
+  EXPECT_EQ(total_reserved(), 0);
+  EXPECT_EQ(sessions.snapshot(id)->state, SessionState::kAborted);
+}
+
+TEST_F(SessionFixture, DoubleConfirmFails) {
+  const SessionId id = negotiate_and_open();
+  ASSERT_TRUE(sessions.confirm(id, 1.0).ok());
+  EXPECT_FALSE(sessions.confirm(id, 2.0).ok());
+}
+
+TEST_F(SessionFixture, AdvanceCompletesAtDuration) {
+  const SessionId id = negotiate_and_open();
+  sessions.confirm(id, 1.0);
+  sessions.advance(id, 60.0);
+  EXPECT_EQ(sessions.snapshot(id)->state, SessionState::kPlaying);
+  EXPECT_DOUBLE_EQ(sessions.snapshot(id)->position_s, 60.0);
+  sessions.advance(id, 60.0);  // document lasts 120 s
+  EXPECT_EQ(sessions.snapshot(id)->state, SessionState::kCompleted);
+  EXPECT_EQ(total_reserved(), 0);
+}
+
+TEST_F(SessionFixture, AdaptSwitchesToAlternateOffer) {
+  const SessionId id = negotiate_and_open();
+  sessions.confirm(id, 1.0);
+  const std::size_t before = sessions.snapshot(id)->current_offer;
+  AdaptationResult result = sessions.adapt(id, 10.0);
+  EXPECT_TRUE(result.adapted);
+  EXPECT_NE(result.new_offer, before);
+  EXPECT_EQ(sessions.snapshot(id)->state, SessionState::kPlaying);
+  EXPECT_EQ(sessions.snapshot(id)->stats.transitions, 1);
+  EXPECT_GT(sessions.snapshot(id)->stats.interrupted_s, 0.0);
+}
+
+TEST_F(SessionFixture, AdaptNeverSelectsTheFailedConfiguration) {
+  const SessionId id = negotiate_and_open();
+  sessions.confirm(id, 1.0);
+  for (int i = 0; i < 5; ++i) {
+    const std::size_t current = sessions.snapshot(id)->current_offer;
+    AdaptationResult result = sessions.adapt(id, 10.0 + i);
+    if (!result.adapted) break;
+    EXPECT_NE(result.new_offer, current);
+  }
+}
+
+TEST_F(SessionFixture, AdaptFailsWhenNoAlternativeFits) {
+  const SessionId id = negotiate_and_open();
+  sessions.confirm(id, 1.0);
+  // Both servers down: no alternate configuration can be committed (the
+  // stop-then-restart transition frees the old reservation, but a failed
+  // server admits nothing).
+  sys.farm.find("server-a")->fail();
+  sys.farm.find("server-b")->fail();
+  AdaptationResult result = sessions.adapt(id, 10.0);
+  EXPECT_FALSE(result.adapted);
+  EXPECT_EQ(sessions.snapshot(id)->state, SessionState::kAborted);
+  EXPECT_EQ(sessions.snapshot(id)->stats.failed_adaptations, 1);
+  // Everything released despite the failure.
+  EXPECT_EQ(sys.transport->active_flows(), 0u);
+}
+
+TEST_F(SessionFixture, MakeBeforeBreakAdaptationWorks) {
+  SessionManager bbm(manager, AdaptationPolicy{.make_before_break = true,
+                                               .exclude_all_tried = false,
+                                               .transition_latency_s = 1.0});
+  UserProfile profile = TestSystem::tolerant_profile();
+  NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
+  ASSERT_TRUE(outcome.has_commitment());
+  auto opened = bbm.open(sys.client, profile, std::move(outcome), 0.0);
+  ASSERT_TRUE(opened.ok());
+  bbm.confirm(opened.value(), 1.0);
+  AdaptationResult result = bbm.adapt(opened.value(), 5.0);
+  EXPECT_TRUE(result.adapted);
+  EXPECT_DOUBLE_EQ(result.interruption_s, 1.0);
+}
+
+TEST_F(SessionFixture, ExcludeAllTriedPolicyExhaustsLadder) {
+  SessionManager strict(manager, AdaptationPolicy{.make_before_break = true,
+                                                  .exclude_all_tried = true,
+                                                  .transition_latency_s = 0.5});
+  UserProfile profile = TestSystem::tolerant_profile();
+  NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
+  ASSERT_TRUE(outcome.has_commitment());
+  const std::size_t ladder = outcome.offers.offers.size();
+  auto opened = strict.open(sys.client, profile, std::move(outcome), 0.0);
+  ASSERT_TRUE(opened.ok());
+  strict.confirm(opened.value(), 1.0);
+  // Adapting more times than there are offers must eventually abort.
+  std::size_t adapted = 0;
+  for (std::size_t i = 0; i < ladder + 2; ++i) {
+    if (!strict.adapt(opened.value(), 5.0 + static_cast<double>(i)).adapted) break;
+    ++adapted;
+  }
+  EXPECT_LT(adapted, ladder);
+  EXPECT_EQ(strict.snapshot(opened.value())->state, SessionState::kAborted);
+}
+
+TEST_F(SessionFixture, FlowIndexRoutesViolations) {
+  const SessionId id = negotiate_and_open();
+  sessions.confirm(id, 1.0);
+  // Degrade the backbone so the committed flows are victims.
+  const auto victims = sys.transport->degrade_link(0, 0.999);
+  ASSERT_FALSE(victims.empty());
+  bool routed = false;
+  for (FlowId flow : victims) {
+    for (SessionId sid : sessions.sessions_using_flow(flow)) {
+      routed = true;
+      EXPECT_EQ(sid, id);
+    }
+  }
+  EXPECT_TRUE(routed);
+}
+
+TEST_F(SessionFixture, FlowIndexUpdatedAfterAdaptation) {
+  const SessionId id = negotiate_and_open();
+  sessions.confirm(id, 1.0);
+  auto before = sessions.snapshot(id);
+  AdaptationResult result = sessions.adapt(id, 5.0);
+  ASSERT_TRUE(result.adapted);
+  // All currently held flows route back to the session.
+  std::size_t routed = 0;
+  for (std::size_t link = 0; link < sys.transport->topology().link_count(); ++link) {
+    const auto usage = sys.transport->link_usage(link);
+    (void)usage;
+  }
+  // Trigger violations on the new configuration.
+  const auto victims = sys.transport->degrade_link(0, 0.999);
+  for (FlowId flow : victims) {
+    for (SessionId sid : sessions.sessions_using_flow(flow)) {
+      EXPECT_EQ(sid, id);
+      ++routed;
+    }
+  }
+  EXPECT_GT(routed, 0u);
+  (void)before;
+}
+
+TEST_F(SessionFixture, SessionsOnServerFindsHolders) {
+  const SessionId id = negotiate_and_open();
+  sessions.confirm(id, 1.0);
+  const auto view = sessions.snapshot(id);
+  ASSERT_TRUE(view.has_value());
+  // The session uses at least one of the two servers.
+  const auto on_a = sessions.sessions_on_server("server-a");
+  const auto on_b = sessions.sessions_on_server("server-b");
+  EXPECT_TRUE(!on_a.empty() || !on_b.empty());
+  EXPECT_TRUE(sessions.sessions_on_server("server-zzz").empty());
+}
+
+TEST_F(SessionFixture, AbortReleasesAndRecordsReason) {
+  const SessionId id = negotiate_and_open();
+  sessions.confirm(id, 1.0);
+  sessions.abort(id, "operator shutdown");
+  auto view = sessions.snapshot(id);
+  EXPECT_EQ(view->state, SessionState::kAborted);
+  EXPECT_EQ(view->abort_reason, "operator shutdown");
+  EXPECT_EQ(total_reserved(), 0);
+}
+
+TEST_F(SessionFixture, RenegotiateUpgradesLiveSession) {
+  // Start with the thrifty floor, then renegotiate up to the tolerant
+  // profile: the session switches configuration without being torn down.
+  UserProfile modest = TestSystem::tolerant_profile();
+  modest.mm.video->desired = VideoQoS{ColorDepth::kBlackWhite, 10, 320};
+  modest.mm.audio->desired = AudioQoS{AudioQuality::kTelephone};
+  const SessionId id = negotiate_and_open(0.0, modest);
+  sessions.confirm(id, 1.0);
+  sessions.advance(id, 20.0);
+
+  RenegotiationResult result =
+      sessions.renegotiate(id, TestSystem::tolerant_profile(), 21.0);
+  EXPECT_TRUE(result.switched);
+  EXPECT_EQ(result.status, NegotiationStatus::kSucceeded);
+  ASSERT_TRUE(result.offer.has_value());
+  EXPECT_EQ(result.offer->video->color, ColorDepth::kColor);
+  const auto view = sessions.snapshot(id);
+  EXPECT_EQ(view->state, SessionState::kPlaying);
+  EXPECT_DOUBLE_EQ(view->position_s, 20.0);  // playout position preserved
+  EXPECT_EQ(view->stats.renegotiations, 1);
+}
+
+TEST_F(SessionFixture, RenegotiateFailureKeepsCurrentConfiguration) {
+  const SessionId id = negotiate_and_open();
+  sessions.confirm(id, 1.0);
+  const auto before = sessions.snapshot(id);
+  // A profile no variant can decode into: demand MJPEG-class super quality
+  // the servers can't admit (both failed).
+  sys.farm.find("server-a")->fail();
+  sys.farm.find("server-b")->fail();
+  RenegotiationResult result =
+      sessions.renegotiate(id, TestSystem::tolerant_profile(), 10.0);
+  EXPECT_FALSE(result.switched);
+  EXPECT_EQ(result.status, NegotiationStatus::kFailedTryLater);
+  const auto after = sessions.snapshot(id);
+  EXPECT_EQ(after->state, SessionState::kPlaying);
+  EXPECT_EQ(after->current_offer, before->current_offer);
+  EXPECT_EQ(after->stats.renegotiations, 0);
+  sys.farm.find("server-a")->recover();
+  sys.farm.find("server-b")->recover();
+}
+
+TEST_F(SessionFixture, RenegotiateRejectedOnFinishedSession) {
+  const SessionId id = negotiate_and_open();
+  sessions.reject(id);
+  RenegotiationResult result =
+      sessions.renegotiate(id, TestSystem::tolerant_profile(), 5.0);
+  EXPECT_FALSE(result.switched);
+  EXPECT_FALSE(result.problems.empty());
+}
+
+TEST_F(SessionFixture, RenegotiateThenAdaptUsesNewLadder) {
+  const SessionId id = negotiate_and_open();
+  sessions.confirm(id, 1.0);
+  RenegotiationResult renego =
+      sessions.renegotiate(id, TestSystem::tolerant_profile(), 5.0);
+  ASSERT_TRUE(renego.switched);
+  AdaptationResult adapted = sessions.adapt(id, 10.0);
+  EXPECT_TRUE(adapted.adapted);
+  EXPECT_EQ(sessions.snapshot(id)->stats.transitions, 1);
+  EXPECT_EQ(sessions.snapshot(id)->stats.renegotiations, 1);
+}
+
+TEST_F(SessionFixture, OpenWithoutCommitmentFails) {
+  NegotiationOutcome empty;
+  auto opened = sessions.open(sys.client, TestSystem::tolerant_profile(), std::move(empty), 0.0);
+  EXPECT_FALSE(opened.ok());
+}
+
+TEST_F(SessionFixture, ActiveCountTracksLifecycle) {
+  EXPECT_EQ(sessions.active_count(), 0u);
+  const SessionId id = negotiate_and_open();
+  EXPECT_EQ(sessions.active_count(), 1u);
+  sessions.confirm(id, 1.0);
+  EXPECT_EQ(sessions.active_count(), 1u);
+  sessions.advance(id, 1'000.0);
+  EXPECT_EQ(sessions.active_count(), 0u);
+}
+
+TEST_F(SessionFixture, ChargedCostTracksCommittedOffer) {
+  const SessionId id = negotiate_and_open();
+  sessions.confirm(id, 1.0);
+  const Money before = sessions.snapshot(id)->stats.charged;
+  EXPECT_FALSE(before.is_zero());
+  AdaptationResult result = sessions.adapt(id, 5.0);
+  ASSERT_TRUE(result.adapted);
+  // The charge follows the new configuration (it may differ).
+  EXPECT_FALSE(sessions.snapshot(id)->stats.charged.is_zero());
+}
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,79 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qosnp {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Split, NoDelimiterYieldsWhole) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(trim("  abc \t"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("MPEG", "mpeg"));
+  EXPECT_TRUE(iequals("CoLoR", "color"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "ab"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(ParseKeyValue, Basics) {
+  std::string key;
+  std::string value;
+  EXPECT_TRUE(parse_key_value("name = value", key, value));
+  EXPECT_EQ(key, "name");
+  EXPECT_EQ(value, "value");
+  EXPECT_TRUE(parse_key_value("a=b=c", key, value));
+  EXPECT_EQ(key, "a");
+  EXPECT_EQ(value, "b=c");
+}
+
+TEST(ParseKeyValue, Rejections) {
+  std::string key;
+  std::string value;
+  EXPECT_FALSE(parse_key_value("no equals here", key, value));
+  EXPECT_FALSE(parse_key_value(" = value without key", key, value));
+}
+
+TEST(ParseKeyValue, EmptyValueAllowed) {
+  std::string key;
+  std::string value;
+  EXPECT_TRUE(parse_key_value("key =", key, value));
+  EXPECT_EQ(key, "key");
+  EXPECT_EQ(value, "");
+}
+
+TEST(FormatDouble, FixedDecimals) {
+  EXPECT_EQ(format_double(1.5, 2), "1.50");
+  EXPECT_EQ(format_double(3.14159, 3), "3.142");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace qosnp

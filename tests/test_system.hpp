@@ -1,0 +1,113 @@
+// Shared integration fixture: a small but complete news-on-demand system —
+// two media servers, a dumbbell network, one client, and a two-monomedia
+// document with a variant ladder spread across the servers.
+#pragma once
+
+#include <memory>
+
+#include "core/qos_manager.hpp"
+#include "document/catalog.hpp"
+#include "document/corpus.hpp"
+#include "server/media_server.hpp"
+
+namespace qosnp::testing {
+
+struct TestSystem {
+  Catalog catalog;
+  std::unique_ptr<TransportService> transport;
+  ServerFarm farm;
+  ClientMachine client;
+
+  TestSystem(std::int64_t access_bps = 50'000'000, std::int64_t backbone_bps = 200'000'000,
+             std::int64_t server_bps = 100'000'000, int server_sessions = 32) {
+    transport = std::make_unique<TransportService>(
+        Topology::dumbbell(1, 2, access_bps, backbone_bps));
+    for (int i = 0; i < 2; ++i) {
+      MediaServerConfig config;
+      config.id = i == 0 ? "server-a" : "server-b";
+      config.node = "server-node-" + std::to_string(i);
+      config.disk_bandwidth_bps = server_bps;
+      config.max_sessions = server_sessions;
+      farm.add(std::move(config));
+    }
+    client.name = "client-0";
+    client.node = "client-0";
+    client.screen = ScreenSpec{1920, 1080, ColorDepth::kSuperColor};
+    client.decoders = {CodingFormat::kMPEG1,     CodingFormat::kMPEG2,
+                       CodingFormat::kMJPEG,     CodingFormat::kPCM,
+                       CodingFormat::kADPCM,     CodingFormat::kMPEGAudio,
+                       CodingFormat::kPlainText, CodingFormat::kJPEG,
+                       CodingFormat::kGIF};
+    client.max_audio = AudioQuality::kCD;
+    catalog.add(news_article());
+  }
+
+  /// "article": video ladder (colour/grey/b&w at various rates) on both
+  /// servers + an audio ladder + an english/french text.
+  static MultimediaDocument news_article() {
+    MultimediaDocument doc;
+    doc.id = "article";
+    doc.title = "Test news article";
+    doc.copyright_cost = Money::cents(50);
+    const double duration = 120.0;
+
+    Monomedia video;
+    video.id = "article/video";
+    video.kind = MediaKind::kVideo;
+    video.duration_s = duration;
+    video.variants = {
+        make_video_variant("article/video/hi", VideoQoS{ColorDepth::kColor, 25, 640},
+                           CodingFormat::kMPEG1, duration, "server-a"),
+        make_video_variant("article/video/hi-b", VideoQoS{ColorDepth::kColor, 25, 640},
+                           CodingFormat::kMPEG1, duration, "server-b"),
+        make_video_variant("article/video/mid", VideoQoS{ColorDepth::kGray, 15, 640},
+                           CodingFormat::kMPEG1, duration, "server-b"),
+        make_video_variant("article/video/lo", VideoQoS{ColorDepth::kBlackWhite, 10, 320},
+                           CodingFormat::kMPEG1, duration, "server-a"),
+        make_video_variant("article/video/mjpeg", VideoQoS{ColorDepth::kSuperColor, 30, 1280},
+                           CodingFormat::kMJPEG, duration, "server-a"),
+    };
+    doc.monomedia.push_back(std::move(video));
+
+    Monomedia audio;
+    audio.id = "article/audio";
+    audio.kind = MediaKind::kAudio;
+    audio.duration_s = duration;
+    audio.variants = {
+        make_audio_variant("article/audio/cd", AudioQuality::kCD, CodingFormat::kPCM, duration,
+                           "server-a"),
+        make_audio_variant("article/audio/tel", AudioQuality::kTelephone,
+                           CodingFormat::kADPCM, duration, "server-b"),
+    };
+    doc.monomedia.push_back(std::move(audio));
+
+    Monomedia text;
+    text.id = "article/text";
+    text.kind = MediaKind::kText;
+    text.variants = {
+        make_text_variant("article/text/en", Language::kEnglish, CodingFormat::kPlainText,
+                          8'000, "server-a"),
+        make_text_variant("article/text/fr", Language::kFrench, CodingFormat::kPlainText,
+                          8'000, "server-b"),
+    };
+    doc.monomedia.push_back(std::move(text));
+    return doc;
+  }
+
+  /// Profile wanting video+audio+text, tolerant floor, generous budget.
+  static UserProfile tolerant_profile() {
+    UserProfile p = default_user_profile();
+    p.name = "tolerant";
+    p.mm.image.reset();
+    p.mm.video->desired = VideoQoS{ColorDepth::kColor, 25, 640};
+    p.mm.video->worst = VideoQoS{ColorDepth::kBlackWhite, 10, 320};
+    p.mm.audio->desired = AudioQoS{AudioQuality::kCD};
+    p.mm.audio->worst = AudioQoS{AudioQuality::kTelephone};
+    p.mm.text->desired = Language::kEnglish;
+    p.mm.text->acceptable = {Language::kFrench};
+    p.mm.cost.max_cost = Money::dollars(20);
+    return p;
+  }
+};
+
+}  // namespace qosnp::testing

@@ -1,0 +1,90 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace qosnp {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, FuturePropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleDrains) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) { hits[i].fetch_add(1); }, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&](std::size_t) { ++calls; });
+  parallel_for(pool, 7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SmallRangeRunsSerially) {
+  ThreadPool pool(4);
+  std::vector<std::size_t> order;
+  parallel_for(pool, 0, 10, [&](std::size_t i) { order.push_back(i); }, 256);
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, ComputesCorrectSum) {
+  ThreadPool pool(8);
+  const std::size_t n = 100'000;
+  std::vector<std::int64_t> values(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) { values[i] = static_cast<std::int64_t>(i); }, 1);
+  const auto sum = std::accumulate(values.begin(), values.end(), std::int64_t{0});
+  EXPECT_EQ(sum, static_cast<std::int64_t>(n) * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace qosnp
