@@ -32,22 +32,27 @@ NegotiationOutcome EnumeratingNegotiator::negotiate(const ClientMachine& client,
   outcome.offers = enumerate_offers(feasible.value(), profile.mm, cost_model_, enumeration_);
   order_offers(outcome.offers.offers, profile);
 
-  ResourceCommitter committer(*farm_, *transport_);
+  ResourceCommitter committer(*farm_, *transport_, retry_);
+  bool saw_transient = false;
   for (std::size_t i = 0; i < outcome.offers.offers.size(); ++i) {
     auto committed = committer.commit(client, outcome.offers.offers[i]);
     if (!committed.ok()) {
-      outcome.problems.push_back(committed.error());
+      if (committed.error().transient) saw_transient = true;
+      outcome.problems.push_back(committed.error().message);
       continue;
     }
     outcome.committed_index = i;
     outcome.commitment = std::move(committed.value());
+    outcome.commit_stats = committer.stats();
     const SystemOffer& offer = outcome.offers.offers[i];
     outcome.user_offer = derive_user_offer(offer);
     outcome.status = satisfies_user(offer, profile.mm) ? NegotiationStatus::kSucceeded
                                                        : NegotiationStatus::kFailedWithOffer;
     return outcome;
   }
-  outcome.status = NegotiationStatus::kFailedTryLater;
+  outcome.commit_stats = committer.stats();
+  outcome.status = saw_transient ? NegotiationStatus::kFailedTryLater
+                                 : NegotiationStatus::kFailedWithoutOffer;
   return outcome;
 }
 
@@ -154,11 +159,13 @@ NegotiationOutcome BasicNegotiator::negotiate(const ClientMachine& client,
   outcome.offers.total_combinations = 1;
   outcome.offers.offers.push_back(std::move(offer));
 
-  ResourceCommitter committer(*farm_, *transport_);
+  ResourceCommitter committer(*farm_, *transport_, retry_);
   auto committed = committer.commit(client, outcome.offers.offers[0]);
+  outcome.commit_stats = committer.stats();
   if (!committed.ok()) {
-    outcome.status = NegotiationStatus::kFailedTryLater;
-    outcome.problems.push_back(committed.error());
+    outcome.status = committed.error().transient ? NegotiationStatus::kFailedTryLater
+                                                 : NegotiationStatus::kFailedWithoutOffer;
+    outcome.problems.push_back(committed.error().message);
     return outcome;
   }
   outcome.committed_index = 0;

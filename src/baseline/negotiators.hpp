@@ -35,7 +35,7 @@ class Negotiator {
 /// The paper's procedure.
 class SmartNegotiator final : public Negotiator {
  public:
-  SmartNegotiator(Catalog& catalog, ServerFarm& farm, TransportProvider& transport,
+  SmartNegotiator(Catalog& catalog, ServerProvider& farm, TransportProvider& transport,
                   CostModel cost_model = {}, NegotiationConfig config = {})
       : manager_(catalog, farm, transport, std::move(cost_model), std::move(config)) {}
 
@@ -53,10 +53,11 @@ class SmartNegotiator final : public Negotiator {
 /// Shared plumbing of the non-smart baselines.
 class EnumeratingNegotiator : public Negotiator {
  public:
-  EnumeratingNegotiator(Catalog& catalog, ServerFarm& farm, TransportProvider& transport,
-                        CostModel cost_model, EnumerationConfig enumeration = {})
+  EnumeratingNegotiator(Catalog& catalog, ServerProvider& farm, TransportProvider& transport,
+                        CostModel cost_model, EnumerationConfig enumeration = {},
+                        RetryPolicy retry = {})
       : catalog_(&catalog), farm_(&farm), transport_(&transport),
-        cost_model_(std::move(cost_model)), enumeration_(enumeration) {}
+        cost_model_(std::move(cost_model)), enumeration_(enumeration), retry_(retry) {}
 
   NegotiationOutcome negotiate(const ClientMachine& client, const DocumentId& document,
                                const UserProfile& profile) override;
@@ -66,10 +67,11 @@ class EnumeratingNegotiator : public Negotiator {
   virtual void order_offers(std::vector<SystemOffer>& offers, const UserProfile& profile) = 0;
 
   Catalog* catalog_;
-  ServerFarm* farm_;
+  ServerProvider* farm_;
   TransportProvider* transport_;
   CostModel cost_model_;
   EnumerationConfig enumeration_;
+  RetryPolicy retry_;
 };
 
 class CostOnlyNegotiator final : public EnumeratingNegotiator {
@@ -93,10 +95,10 @@ class QoSOnlyNegotiator final : public EnumeratingNegotiator {
 /// Static first-fit negotiation without alternatives.
 class BasicNegotiator final : public Negotiator {
  public:
-  BasicNegotiator(Catalog& catalog, ServerFarm& farm, TransportProvider& transport,
-                  CostModel cost_model = {})
+  BasicNegotiator(Catalog& catalog, ServerProvider& farm, TransportProvider& transport,
+                  CostModel cost_model = {}, RetryPolicy retry = {})
       : catalog_(&catalog), farm_(&farm), transport_(&transport),
-        cost_model_(std::move(cost_model)) {}
+        cost_model_(std::move(cost_model)), retry_(retry) {}
 
   std::string_view name() const override { return "basic"; }
   NegotiationOutcome negotiate(const ClientMachine& client, const DocumentId& document,
@@ -104,9 +106,10 @@ class BasicNegotiator final : public Negotiator {
 
  private:
   Catalog* catalog_;
-  ServerFarm* farm_;
+  ServerProvider* farm_;
   TransportProvider* transport_;
   CostModel cost_model_;
+  RetryPolicy retry_;
 };
 
 }  // namespace qosnp

@@ -1,5 +1,8 @@
 #include "core/commit.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "util/log.hpp"
 
 namespace qosnp {
@@ -11,8 +14,8 @@ std::vector<FlowId> Commitment::flow_ids() const {
   return ids;
 }
 
-std::vector<std::pair<const MediaServer*, StreamId>> Commitment::stream_ids() const {
-  std::vector<std::pair<const MediaServer*, StreamId>> ids;
+std::vector<std::pair<const StreamServer*, StreamId>> Commitment::stream_ids() const {
+  std::vector<std::pair<const StreamServer*, StreamId>> ids;
   ids.reserve(streams_.size());
   for (const ScopedStream& s : streams_) ids.push_back({s.server(), s.id()});
   return ids;
@@ -25,31 +28,80 @@ void Commitment::release() {
   streams_.clear();
 }
 
-Result<Commitment> ResourceCommitter::commit(const ClientMachine& client,
-                                             const SystemOffer& offer) {
+Result<Commitment, Refusal> ResourceCommitter::commit_once(const ClientMachine& client,
+                                                           const SystemOffer& offer,
+                                                           CommitStats& stats) {
   Commitment commitment;
   for (const OfferComponent& c : offer.components) {
-    MediaServer* server = farm_->find(c.variant->server);
+    StreamServer* server = farm_->find_server(c.variant->server);
     if (server == nullptr) {
-      return Err("variant '" + c.variant->id + "' lives on unknown server '" +
-                 c.variant->server + "'");
+      return permanent_refusal("variant '" + c.variant->id + "' lives on unknown server '" +
+                               c.variant->server + "'");
     }
     auto stream = server->admit(c.requirements);
     if (!stream.ok()) {
       // RAII: commitment's handles release everything reserved so far.
+      stats.released_on_failure +=
+          static_cast<int>(commitment.stream_count() + commitment.flow_count());
       return Err(stream.error());
     }
     commitment.streams_.emplace_back(server, stream.value());
 
     auto flow = transport_->reserve(server->node(), client.node, c.requirements);
     if (!flow.ok()) {
+      stats.released_on_failure +=
+          static_cast<int>(commitment.stream_count() + commitment.flow_count());
       return Err(flow.error());
     }
     commitment.flows_.emplace_back(transport_, flow.value());
   }
-  QOSNP_LOG_DEBUG("commit", "committed offer with ", commitment.stream_count(), " streams / ",
-                  commitment.flow_count(), " flows for client ", client.name);
   return commitment;
+}
+
+Result<Commitment, Refusal> ResourceCommitter::commit(const ClientMachine& client,
+                                                      const SystemOffer& offer) {
+  CommitStats stats;
+  Refusal last;
+  const int max_attempts = std::max(1, retry_.max_attempts);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ++stats.attempts;
+    if (attempt > 0) ++stats.retries;
+    auto result = commit_once(client, offer, stats);
+    if (result.ok()) {
+      Commitment commitment = std::move(result.value());
+      commitment.stats_ = stats;
+      stats_.merge(stats);
+      QOSNP_LOG_DEBUG("commit", "committed offer with ", commitment.stream_count(),
+                      " streams / ", commitment.flow_count(), " flows for client ", client.name,
+                      " after ", stats.attempts, " attempt(s)");
+      return commitment;
+    }
+    last = result.error();
+    if (last.transient) {
+      ++stats.transient_failures;
+    } else {
+      ++stats.permanent_failures;
+      break;  // retrying an unknown server or missing route cannot help
+    }
+    if (attempt + 1 >= max_attempts) break;
+    // Back off before the next try. Time is accounted virtually (and only
+    // slept when the policy asks for real delays) so the per-offer deadline
+    // cuts the loop deterministically.
+    const double delay = retry_.jittered_backoff_ms(attempt, jitter_rng_);
+    if (retry_.deadline_ms > 0.0 && stats.backoff_ms + delay > retry_.deadline_ms) {
+      QOSNP_LOG_DEBUG("commit", "retry deadline reached after ", stats.attempts,
+                      " attempt(s) for client ", client.name);
+      break;
+    }
+    stats.backoff_ms += delay;
+    if (retry_.sleep) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+    }
+  }
+  stats_.merge(stats);
+  Result<Commitment, Refusal> failed = Err(std::move(last));
+  // Callers read the effort off the committer-level stats() accumulator.
+  return failed;
 }
 
 }  // namespace qosnp

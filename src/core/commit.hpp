@@ -3,8 +3,18 @@
 // each chosen variant plus a network flow from that server to the client —
 // atomically: if any reservation is refused, everything already reserved
 // for the offer is rolled back (RAII handles unwind automatically).
+//
+// Servers and the transport refuse for two very different reasons, and the
+// committer distinguishes them (Refusal::transient): a *transient* refusal
+// (capacity exhausted right now, a momentary outage, an injected fault from
+// src/fault) is worth retrying under the RetryPolicy before the commitment
+// walk falls through to a worse offer; a *permanent* refusal (unknown
+// server, no route) never is. FAILEDTRYLATER is therefore only reported
+// when retries were truly exhausted.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -13,8 +23,68 @@
 #include "net/transport.hpp"
 #include "server/media_server.hpp"
 #include "util/result.hpp"
+#include "util/rng.hpp"
 
 namespace qosnp {
+
+/// How the committer retries transiently-refused offers. The default is one
+/// attempt — exactly the historical first-refusal-moves-on behaviour.
+struct RetryPolicy {
+  /// Total tries per offer, first one included (1 = no retries).
+  int max_attempts = 1;
+  /// Deterministic exponential schedule: the k-th retry (k = 0, 1, ...)
+  /// backs off base * multiplier^k, capped at max_backoff_ms.
+  double base_backoff_ms = 5.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 500.0;
+  /// Jitter fraction f: the waited delay is drawn uniformly from
+  /// [b_k * (1 - f), b_k * (1 + f)] around the deterministic schedule b_k.
+  double jitter = 0.1;
+  /// Per-offer commit budget in milliseconds of (virtual) backoff; a retry
+  /// whose delay would exceed the budget is not taken. 0 = no deadline.
+  double deadline_ms = 0.0;
+  /// Seed of the jitter stream; the same seed reproduces the same delays.
+  std::uint64_t seed = 0x51ab5eedULL;
+  /// Actually sleep the backoff delays. Off by default: the negotiation
+  /// procedure and every test account backoff in virtual time, which keeps
+  /// seeded runs fast and bit-for-bit reproducible.
+  bool sleep = false;
+
+  /// The deterministic (un-jittered) schedule; monotone non-decreasing.
+  double backoff_ms(int retry_index) const {
+    double b = base_backoff_ms;
+    for (int k = 0; k < retry_index && b < max_backoff_ms; ++k) b *= backoff_multiplier;
+    return std::clamp(b, 0.0, max_backoff_ms);
+  }
+
+  /// The schedule with jitter applied from the given stream.
+  double jittered_backoff_ms(int retry_index, Rng& rng) const {
+    const double b = backoff_ms(retry_index);
+    const double f = std::clamp(jitter, 0.0, 1.0);
+    return f == 0.0 ? b : rng.uniform(b * (1.0 - f), b * (1.0 + f));
+  }
+};
+
+/// Effort counters of the commitment walk, surfaced on Commitment,
+/// CommitAttempt and NegotiationOutcome so tests and sim/metrics can assert
+/// retry effectiveness and that failed commits leak nothing.
+struct CommitStats {
+  int attempts = 0;             ///< offer-level commit tries, first included
+  int retries = 0;              ///< tries beyond the first per offer
+  int transient_failures = 0;   ///< transient refusals observed
+  int permanent_failures = 0;   ///< permanent refusals observed
+  int released_on_failure = 0;  ///< reservations rolled back by failed tries
+  double backoff_ms = 0.0;      ///< total (virtual) backoff waited
+
+  void merge(const CommitStats& other) {
+    attempts += other.attempts;
+    retries += other.retries;
+    transient_failures += other.transient_failures;
+    permanent_failures += other.permanent_failures;
+    released_on_failure += other.released_on_failure;
+    backoff_ms += other.backoff_ms;
+  }
+};
 
 /// The reservations backing one committed system offer. Move-only RAII:
 /// destroying a Commitment releases every reservation (this is also what
@@ -33,7 +103,10 @@ class Commitment {
   /// Flow ids held (the violation signal from the transport names flows).
   std::vector<FlowId> flow_ids() const;
   /// (server, stream) pairs held.
-  std::vector<std::pair<const MediaServer*, StreamId>> stream_ids() const;
+  std::vector<std::pair<const StreamServer*, StreamId>> stream_ids() const;
+
+  /// What committing this offer cost (attempts, retries, backoff).
+  const CommitStats& stats() const { return stats_; }
 
   /// Release everything now.
   void release();
@@ -42,19 +115,33 @@ class Commitment {
   friend class ResourceCommitter;
   std::vector<ScopedStream> streams_;
   std::vector<ScopedFlow> flows_;
+  CommitStats stats_;
 };
 
 class ResourceCommitter {
  public:
-  ResourceCommitter(ServerFarm& farm, TransportProvider& transport)
-      : farm_(&farm), transport_(&transport) {}
+  ResourceCommitter(ServerProvider& farm, TransportProvider& transport, RetryPolicy retry = {})
+      : farm_(&farm), transport_(&transport), retry_(retry), jitter_rng_(retry.seed) {}
 
-  /// Try to reserve all resources of `offer` for delivery to `client`.
-  Result<Commitment> commit(const ClientMachine& client, const SystemOffer& offer);
+  /// Try to reserve all resources of `offer` for delivery to `client`,
+  /// retrying transient refusals under the retry policy. The returned
+  /// refusal keeps the transient flag of the last failure, so callers know
+  /// whether FAILEDTRYLATER (retries exhausted) or a permanent error is the
+  /// honest verdict.
+  Result<Commitment, Refusal> commit(const ClientMachine& client, const SystemOffer& offer);
+
+  /// Cumulative counters over every commit() this committer ran.
+  const CommitStats& stats() const { return stats_; }
 
  private:
-  ServerFarm* farm_;
+  Result<Commitment, Refusal> commit_once(const ClientMachine& client, const SystemOffer& offer,
+                                          CommitStats& stats);
+
+  ServerProvider* farm_;
   TransportProvider* transport_;
+  RetryPolicy retry_;
+  Rng jitter_rng_;
+  CommitStats stats_;
 };
 
 }  // namespace qosnp

@@ -7,7 +7,7 @@
 
 namespace qosnp {
 
-QoSManager::QoSManager(Catalog& catalog, ServerFarm& farm, TransportProvider& transport,
+QoSManager::QoSManager(Catalog& catalog, ServerProvider& farm, TransportProvider& transport,
                        CostModel cost_model, NegotiationConfig config)
     : catalog_(&catalog), farm_(&farm), transport_(&transport),
       cost_model_(std::move(cost_model)), config_(std::move(config)) {}
@@ -26,7 +26,7 @@ CommitAttempt QoSManager::commit_first(const ClientMachine& client, const OfferL
                                        const MMProfile& profile,
                                        std::span<const std::size_t> exclude) {
   CommitAttempt attempt;
-  ResourceCommitter committer(*farm_, *transport_);
+  ResourceCommitter committer(*farm_, *transport_, config_.retry);
   auto excluded = [&](std::size_t i) {
     return std::find(exclude.begin(), exclude.end(), i) != exclude.end();
   };
@@ -44,11 +44,14 @@ CommitAttempt QoSManager::commit_first(const ClientMachine& client, const OfferL
       if (committed.ok()) {
         attempt.index = i;
         attempt.commitment = std::move(committed.value());
+        attempt.stats = committer.stats();
         return attempt;
       }
-      attempt.errors.push_back("offer " + std::to_string(i) + ": " + committed.error());
+      if (committed.error().transient) attempt.saw_transient = true;
+      attempt.errors.push_back("offer " + std::to_string(i) + ": " + committed.error().message);
     }
   }
+  attempt.stats = committer.stats();
   return attempt;
 }
 
@@ -115,8 +118,13 @@ NegotiationOutcome QoSManager::negotiate_document(
 
   // Step 5: resource commitment.
   CommitAttempt attempt = commit_first(client, outcome.offers, profile.mm);
+  outcome.commit_stats = attempt.stats;
   if (!attempt.ok()) {
-    outcome.status = NegotiationStatus::kFailedTryLater;
+    // FAILEDTRYLATER promises that trying later could succeed; keep that
+    // promise only when some refusal was transient (capacity, outage).
+    // Purely permanent refusals (unknown server, no route) cannot heal.
+    outcome.status = attempt.saw_transient ? NegotiationStatus::kFailedTryLater
+                                           : NegotiationStatus::kFailedWithoutOffer;
     outcome.problems.insert(outcome.problems.end(), attempt.errors.begin(),
                             attempt.errors.end());
     return outcome;

@@ -35,6 +35,9 @@ struct NegotiationConfig {
   /// Classify offers on the shared thread pool when the list is at least
   /// this large (0 disables parallel classification).
   std::size_t parallel_threshold = 512;
+  /// How resource commitment retries transiently-refused offers before the
+  /// walk falls through to the next (worse) offer. Default: no retries.
+  RetryPolicy retry;
 };
 
 /// Everything a negotiation produces. The negotiation results of the paper
@@ -48,6 +51,8 @@ struct NegotiationOutcome {
   OfferList offers;  ///< classified best-to-worst; kept for adaptation
   std::size_t committed_index = SIZE_MAX;
   Commitment commitment;
+  /// Commitment effort over the whole Step-5 walk (all offers tried).
+  CommitStats commit_stats;
 
   bool has_commitment() const { return committed_index != SIZE_MAX; }
 };
@@ -57,13 +62,17 @@ struct CommitAttempt {
   std::size_t index = SIZE_MAX;
   Commitment commitment;
   std::vector<std::string> errors;
+  CommitStats stats;
+  /// Whether any refusal during the walk was transient. Decides the honest
+  /// failure status: FAILEDTRYLATER only when trying later could help.
+  bool saw_transient = false;
 
   bool ok() const { return index != SIZE_MAX; }
 };
 
 class QoSManager {
  public:
-  QoSManager(Catalog& catalog, ServerFarm& farm, TransportProvider& transport,
+  QoSManager(Catalog& catalog, ServerProvider& farm, TransportProvider& transport,
              CostModel cost_model = {}, NegotiationConfig config = {});
 
   /// Run the negotiation procedure for one user request.
@@ -92,7 +101,7 @@ class QoSManager {
 
  private:
   Catalog* catalog_;
-  ServerFarm* farm_;
+  ServerProvider* farm_;
   TransportProvider* transport_;
   CostModel cost_model_;
   NegotiationConfig config_;

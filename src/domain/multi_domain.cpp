@@ -62,10 +62,11 @@ Result<std::vector<std::size_t>> MultiDomainTransport::route_locked(const NodeId
   // domains without room for the rate are impassable. The source domain's
   // own weight is charged too (it carries the segment as well).
   auto weight = [&](std::size_t d) -> double {
-    if (domains_[d].reserved + rate > domains_[d].effective_capacity) {
+    // A negative rate probes pure reachability (capacity ignored).
+    if (rate >= 0 && domains_[d].reserved + rate > domains_[d].effective_capacity) {
       return -1.0;  // impassable
     }
-    if (policy_ == RoutePolicy::kFewestDomains) return 1.0;
+    if (policy_ == RoutePolicy::kFewestDomains || rate < 0) return 1.0;
     return static_cast<double>(domains_[d].config.tariff.cost_per_second(rate).as_micros());
   };
 
@@ -106,13 +107,19 @@ Result<std::vector<std::size_t>> MultiDomainTransport::route_locked(const NodeId
   return route;
 }
 
-Result<FlowId> MultiDomainTransport::reserve(const NodeId& src, const NodeId& dst,
-                                             const StreamRequirements& req) {
+Result<FlowId, Refusal> MultiDomainTransport::reserve(const NodeId& src, const NodeId& dst,
+                                                      const StreamRequirements& req) {
   const std::int64_t rate = rate_of(req);
-  if (rate <= 0) return Err("non-positive bit rate");
+  if (rate <= 0) return permanent_refusal("non-positive bit rate");
   std::lock_guard lk(mu_);
   auto route = route_locked(src, dst, rate);
-  if (!route.ok()) return Err(route.error());
+  if (!route.ok()) {
+    // Unreachable even at rate 0 means the domain graph itself has no path
+    // (permanent); otherwise the route exists but lacks capacity right now.
+    const bool structurally_routable = route_locked(src, dst, -1).ok();
+    if (structurally_routable) return transient_refusal(route.error());
+    return permanent_refusal(route.error());
+  }
   for (std::size_t d : route.value()) {
     domains_[d].reserved += rate;
     ++domains_[d].flow_count;

@@ -59,8 +59,8 @@ class MultiDomainTransport final : public TransportProvider {
   Result<bool> attach(const NodeId& node, const DomainId& domain);
 
   // TransportProvider:
-  Result<FlowId> reserve(const NodeId& src, const NodeId& dst,
-                         const StreamRequirements& req) override;
+  Result<FlowId, Refusal> reserve(const NodeId& src, const NodeId& dst,
+                                  const StreamRequirements& req) override;
   bool release(FlowId id) override;
 
   /// Total per-second transit price of the best currently-feasible route

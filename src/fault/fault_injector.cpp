@@ -1,0 +1,168 @@
+#include "fault/fault_injector.hpp"
+
+#include "util/log.hpp"
+
+namespace qosnp {
+
+namespace {
+
+/// Shared injection step: consult the spec, bump counters, and decide
+/// whether this admission event is refused before reaching the real
+/// component. Returns a non-empty reason when refused.
+std::string draw_fault(const FaultSpec& spec, Rng& rng, int event_index, FaultStats& stats,
+                       const std::string& what) {
+  if (spec.outage_after_events >= 0 && event_index >= spec.outage_after_events &&
+      event_index < spec.outage_after_events + spec.outage_length_events) {
+    ++stats.outage_refusals;
+    return what + " is down (injected outage)";
+  }
+  if (spec.latency_spike_p > 0.0 && rng.chance(spec.latency_spike_p)) {
+    ++stats.latency_spikes;
+    stats.injected_latency_ms += spec.latency_spike_ms;
+  }
+  if (spec.transient_failure_p > 0.0 && rng.chance(spec.transient_failure_p)) {
+    ++stats.injected_refusals;
+    return what + " transiently refused (injected fault)";
+  }
+  return {};
+}
+
+}  // namespace
+
+/// Per-server shim: injects the server's FaultSpec in front of the real
+/// admission, forwards everything else untouched.
+class FaultyServerFarm::FaultyServer final : public StreamServer {
+ public:
+  FaultyServer(StreamServer* inner, const FaultSpec& spec, std::uint64_t seed)
+      : inner_(inner), spec_(spec), rng_(seed) {}
+
+  const ServerId& id() const override { return inner_->id(); }
+  const NodeId& node() const override { return inner_->node(); }
+
+  Result<StreamId, Refusal> admit(const StreamRequirements& req) override {
+    {
+      std::lock_guard lk(mu_);
+      const std::string fault =
+          draw_fault(spec_, rng_, events_++, stats_, "server '" + inner_->id() + "'");
+      if (!fault.empty()) {
+        QOSNP_LOG_DEBUG("fault", fault);
+        return transient_refusal(fault);
+      }
+    }
+    auto result = inner_->admit(req);
+    if (result.ok()) {
+      std::lock_guard lk(mu_);
+      ++stats_.admitted;
+    }
+    return result;
+  }
+
+  bool release(StreamId id) override {
+    {
+      std::lock_guard lk(mu_);
+      if (spec_.flaky_release_p > 0.0 && rng_.chance(spec_.flaky_release_p)) {
+        // A flaky release costs an internal retry but always lands: the
+        // decorator still forwards, so nothing ever leaks.
+        ++stats_.flaky_releases;
+      }
+    }
+    const bool released = inner_->release(id);
+    if (released) {
+      std::lock_guard lk(mu_);
+      ++stats_.released;
+    }
+    return released;
+  }
+
+  FaultStats stats() const {
+    std::lock_guard lk(mu_);
+    return stats_;
+  }
+
+ private:
+  StreamServer* inner_;
+  FaultSpec spec_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  int events_ = 0;
+  FaultStats stats_;
+};
+
+FaultyServerFarm::FaultyServerFarm(ServerProvider& inner, FaultPlan plan)
+    : inner_(&inner), plan_(std::move(plan)) {}
+
+FaultyServerFarm::~FaultyServerFarm() = default;
+
+StreamServer* FaultyServerFarm::find_server(const ServerId& id) {
+  StreamServer* inner = inner_->find_server(id);
+  if (inner == nullptr) return nullptr;
+  std::lock_guard lk(mu_);
+  auto it = wrapped_.find(id);
+  if (it == wrapped_.end()) {
+    it = wrapped_
+             .emplace(id, std::make_unique<FaultyServer>(inner, plan_.server_spec(id),
+                                                         fault_entity_seed(plan_.seed, id)))
+             .first;
+  }
+  return it->second.get();
+}
+
+FaultStats FaultyServerFarm::stats() const {
+  std::lock_guard lk(mu_);
+  FaultStats total;
+  for (const auto& [_, server] : wrapped_) total.merge(server->stats());
+  return total;
+}
+
+FaultStats FaultyServerFarm::server_stats(const ServerId& id) const {
+  std::lock_guard lk(mu_);
+  auto it = wrapped_.find(id);
+  return it != wrapped_.end() ? it->second->stats() : FaultStats{};
+}
+
+Result<FlowId, Refusal> FaultyTransportProvider::reserve(const NodeId& src, const NodeId& dst,
+                                                         const StreamRequirements& req) {
+  {
+    std::lock_guard lk(mu_);
+    auto [it, inserted] = routes_.try_emplace({src, dst});
+    RouteState& route = it->second;
+    if (inserted) route.rng = Rng(fault_entity_seed(plan_.seed, src + "->" + dst));
+    const std::string fault = draw_fault(plan_.route_spec(src, dst), route.rng, route.events++,
+                                         route.stats, "route " + src + "->" + dst);
+    if (!fault.empty()) {
+      QOSNP_LOG_DEBUG("fault", fault);
+      return transient_refusal(fault);
+    }
+  }
+  auto result = inner_->reserve(src, dst, req);
+  if (result.ok()) {
+    std::lock_guard lk(mu_);
+    ++routes_[{src, dst}].stats.admitted;
+  }
+  return result;
+}
+
+bool FaultyTransportProvider::release(FlowId id) {
+  {
+    std::lock_guard lk(mu_);
+    if (plan_.transport_defaults.flaky_release_p > 0.0 &&
+        release_rng_.chance(plan_.transport_defaults.flaky_release_p)) {
+      ++release_stats_.flaky_releases;
+    }
+  }
+  const bool released = inner_->release(id);
+  if (released) {
+    std::lock_guard lk(mu_);
+    ++release_stats_.released;
+  }
+  return released;
+}
+
+FaultStats FaultyTransportProvider::stats() const {
+  std::lock_guard lk(mu_);
+  FaultStats total = release_stats_;
+  for (const auto& [_, route] : routes_) total.merge(route.stats);
+  return total;
+}
+
+}  // namespace qosnp

@@ -1,0 +1,85 @@
+// Fault-injecting decorators around the two admission surfaces of Step 5:
+//
+//   FaultyServerFarm      : ServerProvider   — wraps a real farm; each
+//                           server the committer resolves is handed back
+//                           behind a StreamServer shim that injects the
+//                           plan's faults for that server.
+//   FaultyTransportProvider : TransportProvider — same idea per route.
+//
+// Neither decorator touches the wrapped component's internals: injected
+// refusals are returned before the real component is asked, so the real
+// capacity accounting never sees them; forwarded calls behave exactly as
+// without the decorator. Releases are ALWAYS forwarded (a flaky release is
+// recorded as needing an internal retry, not dropped), so the RAII
+// commitment invariant — everything admitted is eventually released — holds
+// under any fault plan. That is what the leak checks in tests/fault_test.cpp
+// assert via stats().admitted == stats().released.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "fault/fault_plan.hpp"
+#include "net/transport.hpp"
+#include "server/media_server.hpp"
+#include "util/rng.hpp"
+
+namespace qosnp {
+
+/// ServerProvider decorator injecting the plan's per-server faults.
+class FaultyServerFarm final : public ServerProvider {
+ public:
+  // Both out of line: FaultyServer is incomplete here, and the members'
+  // destructors may not be instantiated against the incomplete type.
+  FaultyServerFarm(ServerProvider& inner, FaultPlan plan);
+  ~FaultyServerFarm() override;
+
+  StreamServer* find_server(const ServerId& id) override;
+
+  /// Aggregated over every wrapped server.
+  FaultStats stats() const;
+  /// Per-server view (zero stats for servers never resolved).
+  FaultStats server_stats(const ServerId& id) const;
+
+ private:
+  class FaultyServer;
+
+  ServerProvider* inner_;
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::map<ServerId, std::unique_ptr<FaultyServer>> wrapped_;
+};
+
+/// TransportProvider decorator injecting the plan's per-route faults.
+class FaultyTransportProvider final : public TransportProvider {
+ public:
+  FaultyTransportProvider(TransportProvider& inner, FaultPlan plan)
+      : inner_(&inner), plan_(std::move(plan)),
+        release_rng_(fault_entity_seed(plan_.seed, "transport-release")) {}
+
+  Result<FlowId, Refusal> reserve(const NodeId& src, const NodeId& dst,
+                                  const StreamRequirements& req) override;
+  bool release(FlowId id) override;
+
+  /// Aggregated over every route plus the release stream.
+  FaultStats stats() const;
+
+ private:
+  struct RouteState {
+    Rng rng{0};
+    int events = 0;
+    FaultStats stats;
+  };
+
+  TransportProvider* inner_;
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::map<std::pair<NodeId, NodeId>, RouteState> routes_;
+  Rng release_rng_;
+  FaultStats release_stats_;
+};
+
+}  // namespace qosnp

@@ -1,0 +1,99 @@
+// Fault-injection plan: a seedable description of how servers and transport
+// routes misbehave. The negotiation procedure itself is never touched —
+// decorators (fault_injector.hpp) wrap the real ServerFarm/TransportProvider
+// and consult the plan on every admission event. Everything is driven by
+// per-entity SplitMix64 streams derived from the plan seed, so a scenario is
+// bit-reproducible: same plan + same request order -> same injected faults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "document/model.hpp"
+#include "net/topology.hpp"
+
+namespace qosnp {
+
+/// How one server or one route misbehaves.
+struct FaultSpec {
+  /// Probability that an admission/reservation is transiently refused.
+  double transient_failure_p = 0.0;
+  /// Probability that an admission is delayed by latency_spike_ms (recorded
+  /// in FaultStats; commitment time is virtual, nothing actually sleeps).
+  double latency_spike_p = 0.0;
+  double latency_spike_ms = 50.0;
+  /// Probability that a release needs an (internal, always successful)
+  /// retry. Recorded only — the release is always forwarded, so RAII
+  /// accounting never leaks.
+  double flaky_release_p = 0.0;
+  /// Deterministic outage window counted in admission events: events
+  /// [outage_after_events, outage_after_events + outage_length_events) are
+  /// refused outright. -1 disables the outage.
+  int outage_after_events = -1;
+  int outage_length_events = 0;
+
+  bool enabled() const {
+    return transient_failure_p > 0.0 || latency_spike_p > 0.0 || flaky_release_p > 0.0 ||
+           outage_after_events >= 0;
+  }
+};
+
+/// The full scenario: defaults for every server / every route, plus
+/// per-entity overrides.
+struct FaultPlan {
+  std::uint64_t seed = 0xfa017ULL;
+  FaultSpec server_defaults;
+  FaultSpec transport_defaults;
+  std::map<ServerId, FaultSpec> per_server;
+  /// Keyed (src node, dst node) as reserve() sees them. With one access
+  /// link per end node (the dumbbell used throughout), a route is a link.
+  std::map<std::pair<NodeId, NodeId>, FaultSpec> per_route;
+
+  const FaultSpec& server_spec(const ServerId& id) const {
+    auto it = per_server.find(id);
+    return it != per_server.end() ? it->second : server_defaults;
+  }
+  const FaultSpec& route_spec(const NodeId& src, const NodeId& dst) const {
+    auto it = per_route.find({src, dst});
+    return it != per_route.end() ? it->second : transport_defaults;
+  }
+};
+
+/// What a decorator did and saw. admitted/released pair up with the RAII
+/// leak check: every admission the decorator let through must eventually be
+/// released through it too.
+struct FaultStats {
+  long injected_refusals = 0;   ///< probabilistic transient refusals
+  long outage_refusals = 0;     ///< refusals inside an outage window
+  long latency_spikes = 0;
+  double injected_latency_ms = 0.0;
+  long flaky_releases = 0;      ///< releases that needed the internal retry
+  long admitted = 0;            ///< admissions forwarded and accepted
+  long released = 0;            ///< releases forwarded and accepted
+
+  void merge(const FaultStats& other) {
+    injected_refusals += other.injected_refusals;
+    outage_refusals += other.outage_refusals;
+    latency_spikes += other.latency_spikes;
+    injected_latency_ms += other.injected_latency_ms;
+    flaky_releases += other.flaky_releases;
+    admitted += other.admitted;
+    released += other.released;
+  }
+};
+
+/// Deterministic per-entity seed: FNV-1a over the entity name mixed into the
+/// plan seed. (std::hash is not guaranteed stable across implementations;
+/// reproducibility across builds needs an explicit hash.)
+inline std::uint64_t fault_entity_seed(std::uint64_t plan_seed, const std::string& entity) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ plan_seed;
+  for (unsigned char c : entity) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace qosnp

@@ -16,11 +16,11 @@ TransportService::TransportService(Topology topology) : topology_(std::move(topo
   link_flow_count_.assign(topology_.link_count(), 0);
 }
 
-Result<FlowId> TransportService::reserve(const NodeId& src, const NodeId& dst,
-                                         const StreamRequirements& req) {
+Result<FlowId, Refusal> TransportService::reserve(const NodeId& src, const NodeId& dst,
+                                                  const StreamRequirements& req) {
   const std::int64_t rate = req.guarantee == GuaranteeClass::kGuaranteed ? req.max_bit_rate_bps
                                                                          : req.avg_bit_rate_bps;
-  if (rate <= 0) return Err("non-positive bit rate");
+  if (rate <= 0) return permanent_refusal("non-positive bit rate");
 
   // Route with admission-aware retries: when a link on the preferred path
   // lacks capacity, exclude it and re-route — in a multi-path topology the
@@ -31,7 +31,10 @@ Result<FlowId> TransportService::reserve(const NodeId& src, const NodeId& dst,
   for (int attempt = 0; attempt <= kMaxRouteRetries; ++attempt) {
     auto path = topology_.shortest_path(src, dst, excluded);
     if (!path.ok()) {
-      return Err(last_error.empty() ? path.error() : last_error);
+      // No route at all is permanent; a route that exists but is full
+      // (last_error from a previous attempt) is a transient shortage.
+      if (last_error.empty()) return permanent_refusal(path.error());
+      return transient_refusal(last_error);
     }
     const std::size_t* bottleneck = nullptr;
     for (const std::size_t& link : path.value()) {
@@ -63,7 +66,7 @@ Result<FlowId> TransportService::reserve(const NodeId& src, const NodeId& dst,
                     " bps over ", flows_[id].path.size(), " links");
     return id;
   }
-  return Err(last_error);
+  return transient_refusal(last_error);
 }
 
 bool TransportService::release(FlowId id) {

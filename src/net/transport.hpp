@@ -24,13 +24,15 @@ using FlowId = std::uint64_t;
 
 /// Minimal transport surface the resource-commitment step needs: admit a
 /// flow with given stream requirements, release it later. Implemented by
-/// the single-authority TransportService below and by the multi-domain
-/// transport (src/domain) where each domain manages its own segment.
+/// the single-authority TransportService below, by the multi-domain
+/// transport (src/domain) where each domain manages its own segment, and by
+/// the fault-injecting decorator (src/fault). Refusals are typed: transient
+/// (links full right now) vs permanent (no route between the nodes).
 class TransportProvider {
  public:
   virtual ~TransportProvider() = default;
-  virtual Result<FlowId> reserve(const NodeId& src, const NodeId& dst,
-                                 const StreamRequirements& req) = 0;
+  virtual Result<FlowId, Refusal> reserve(const NodeId& src, const NodeId& dst,
+                                          const StreamRequirements& req) = 0;
   virtual bool release(FlowId id) = 0;
 };
 
@@ -64,8 +66,8 @@ class TransportService final : public TransportProvider {
 
   /// Admit a flow from src to dst with the given requirements. Reserves the
   /// peak rate (guaranteed) or average rate (best-effort) on each path link.
-  Result<FlowId> reserve(const NodeId& src, const NodeId& dst,
-                         const StreamRequirements& req) override;
+  Result<FlowId, Refusal> reserve(const NodeId& src, const NodeId& dst,
+                                  const StreamRequirements& req) override;
 
   /// Release a flow's reservation. Returns false for unknown flows
   /// (double-release is harmless).

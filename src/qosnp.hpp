@@ -38,6 +38,8 @@
 #include "document/model.hpp"        // IWYU pragma: export
 #include "document/serialize.hpp"    // IWYU pragma: export
 #include "domain/multi_domain.hpp"   // IWYU pragma: export
+#include "fault/fault_injector.hpp"  // IWYU pragma: export
+#include "fault/fault_plan.hpp"      // IWYU pragma: export
 #include "media/qos.hpp"             // IWYU pragma: export
 #include "media/types.hpp"           // IWYU pragma: export
 #include "net/topology.hpp"          // IWYU pragma: export

@@ -41,20 +41,44 @@ struct ServerUsage {
   bool failed = false;
 };
 
-class MediaServer {
+/// The admission surface of one media server — exactly what Step 5
+/// (resource commitment) talks to. MediaServer implements it; the
+/// fault-injection decorators in src/fault interpose on it without touching
+/// the server internals. Refusals are typed: transient (no capacity right
+/// now, server momentarily down) vs permanent (malformed request).
+class StreamServer {
+ public:
+  virtual ~StreamServer() = default;
+  virtual const ServerId& id() const = 0;
+  virtual const NodeId& node() const = 0;
+  virtual Result<StreamId, Refusal> admit(const StreamRequirements& req) = 0;
+  virtual bool release(StreamId id) = 0;
+};
+
+/// Server-lookup surface of the farm: how the resource committer resolves a
+/// variant's localisation field into an admission endpoint. Decorators wrap
+/// this to inject faults per server.
+class ServerProvider {
+ public:
+  virtual ~ServerProvider() = default;
+  /// nullptr when no server with that id exists (a permanent error).
+  virtual StreamServer* find_server(const ServerId& id) = 0;
+};
+
+class MediaServer final : public StreamServer {
  public:
   explicit MediaServer(MediaServerConfig config);
 
   MediaServer(const MediaServer&) = delete;
   MediaServer& operator=(const MediaServer&) = delete;
 
-  const ServerId& id() const { return config_.id; }
-  const NodeId& node() const { return config_.node; }
+  const ServerId& id() const override { return config_.id; }
+  const NodeId& node() const override { return config_.node; }
 
   /// Admit a stream: reserves peak rate (guaranteed) or average rate
   /// (best-effort) of disk bandwidth plus one session slot.
-  Result<StreamId> admit(const StreamRequirements& req);
-  bool release(StreamId id);
+  Result<StreamId, Refusal> admit(const StreamRequirements& req) override;
+  bool release(StreamId id) override;
 
   ServerUsage usage() const;
 
@@ -83,12 +107,13 @@ class MediaServer {
 
 /// Registry of all media servers, keyed by ServerId (the variant metadata's
 /// localisation field points here).
-class ServerFarm {
+class ServerFarm final : public ServerProvider {
  public:
   /// Register a server; duplicate ids are rejected.
   bool add(MediaServerConfig config);
   MediaServer* find(const ServerId& id);
   const MediaServer* find(const ServerId& id) const;
+  StreamServer* find_server(const ServerId& id) override { return find(id); }
   std::vector<ServerId> list() const;
 
  private:
@@ -100,7 +125,7 @@ class ServerFarm {
 class ScopedStream {
  public:
   ScopedStream() = default;
-  ScopedStream(MediaServer* server, StreamId id) : server_(server), id_(id) {}
+  ScopedStream(StreamServer* server, StreamId id) : server_(server), id_(id) {}
   ~ScopedStream() { reset(); }
 
   ScopedStream(ScopedStream&& other) noexcept { *this = std::move(other); }
@@ -118,7 +143,7 @@ class ScopedStream {
   ScopedStream& operator=(const ScopedStream&) = delete;
 
   StreamId id() const { return id_; }
-  MediaServer* server() const { return server_; }
+  StreamServer* server() const { return server_; }
   bool valid() const { return server_ != nullptr; }
 
   StreamId dismiss() {
@@ -133,7 +158,7 @@ class ScopedStream {
   }
 
  private:
-  MediaServer* server_ = nullptr;
+  StreamServer* server_ = nullptr;
   StreamId id_ = 0;
 };
 

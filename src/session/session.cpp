@@ -49,6 +49,7 @@ Result<SessionId> SessionManager::open(const ClientMachine& client, const UserPr
   session->confirm_deadline_s = now_s + profile.mm.time.choice_period_s;
   session->duration_s = session->offers.document ? session->offers.document->duration_s() : 0.0;
   session->stats.charged = session->committed().total_cost();
+  session->stats.commit = outcome.commit_stats;
   index_commitment_locked(*session);
   const SessionId id = session->id;
   sessions_[id] = std::move(session);
@@ -134,6 +135,7 @@ AdaptationResult SessionManager::adapt(SessionId id, double /*now_s*/) {
     if (attempt.ok()) s.commitment = std::move(attempt.commitment);
   }
 
+  s.stats.commit.merge(attempt.stats);
   if (!attempt.ok()) {
     s.stats.failed_adaptations += 1;
     result.errors = std::move(attempt.errors);
@@ -177,6 +179,7 @@ RenegotiationResult SessionManager::renegotiate(SessionId id, const UserProfile&
       manager_->negotiate_document(s.client, s.offers.document, new_profile);
   result.status = outcome.status;
   result.problems = outcome.problems;
+  s.stats.commit.merge(outcome.commit_stats);
   if (!outcome.has_commitment()) {
     // Nothing could be committed: the session keeps its current
     // configuration untouched (the old commitment was never released).

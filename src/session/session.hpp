@@ -38,6 +38,7 @@ struct SessionStats {
   int renegotiations = 0;  ///< successful user-driven renegotiations
   double interrupted_s = 0.0;  ///< total playout interruption
   Money charged;               ///< cost of the currently committed offer
+  CommitStats commit;          ///< commitment effort over the session's life
 };
 
 /// One delivery session (internal representation; move-only because it owns

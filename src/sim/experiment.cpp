@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "baseline/negotiators.hpp"
 #include "delivery/playout.hpp"
+#include "fault/fault_injector.hpp"
 #include "sim/event_queue.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -31,7 +33,9 @@ std::string SimMetrics::summary() const {
      << " without-offer=" << count(NegotiationStatus::kFailedWithoutOffer)
      << " local-offer=" << count(NegotiationStatus::kFailedWithLocalOffer)
      << " completed=" << completed << " aborted=" << aborted << " adaptations=" << adaptations
-     << "/" << (adaptations + failed_adaptations) << " revenue=" << revenue.to_string();
+     << "/" << (adaptations + failed_adaptations) << " commit-attempts=" << commit_attempts
+     << " retries=" << commit_retries << " transient-failures=" << transient_failures
+     << " revenue=" << revenue.to_string();
   return os.str();
 }
 
@@ -135,25 +139,46 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     clients.push_back(make_client(i, limited));
   }
 
+  // Optionally interpose the fault-injecting decorators; the negotiation
+  // stack only ever sees the abstract provider surfaces.
+  std::optional<FaultyServerFarm> faulty_farm;
+  std::optional<FaultyTransportProvider> faulty_transport;
+  ServerProvider* server_provider = &farm;
+  TransportProvider* transport_provider = &transport;
+  if (config.fault_injection) {
+    faulty_farm.emplace(farm, config.faults);
+    faulty_transport.emplace(transport, config.faults);
+    server_provider = &*faulty_farm;
+    transport_provider = &*faulty_transport;
+  }
+
   NegotiationConfig nego_config;
   nego_config.policy = config.policy;
-  auto qos_manager =
-      std::make_unique<QoSManager>(catalog, farm, transport, CostModel{}, nego_config);
+  nego_config.retry = config.retry;
+  auto qos_manager = std::make_unique<QoSManager>(catalog, *server_provider,
+                                                  *transport_provider, CostModel{}, nego_config);
 
   std::unique_ptr<Negotiator> negotiator;
   switch (config.strategy) {
     case Strategy::kSmart:
-      negotiator = std::make_unique<SmartNegotiator>(catalog, farm, transport, CostModel{},
+      negotiator = std::make_unique<SmartNegotiator>(catalog, *server_provider,
+                                                     *transport_provider, CostModel{},
                                                      nego_config);
       break;
     case Strategy::kBasic:
-      negotiator = std::make_unique<BasicNegotiator>(catalog, farm, transport, CostModel{});
+      negotiator = std::make_unique<BasicNegotiator>(catalog, *server_provider,
+                                                     *transport_provider, CostModel{},
+                                                     config.retry);
       break;
     case Strategy::kCostOnly:
-      negotiator = std::make_unique<CostOnlyNegotiator>(catalog, farm, transport, CostModel{});
+      negotiator = std::make_unique<CostOnlyNegotiator>(catalog, *server_provider,
+                                                        *transport_provider, CostModel{},
+                                                        EnumerationConfig{}, config.retry);
       break;
     case Strategy::kQoSOnly:
-      negotiator = std::make_unique<QoSOnlyNegotiator>(catalog, farm, transport, CostModel{});
+      negotiator = std::make_unique<QoSOnlyNegotiator>(catalog, *server_provider,
+                                                       *transport_provider, CostModel{},
+                                                       EnumerationConfig{}, config.retry);
       break;
   }
 
@@ -196,6 +221,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       NegotiationOutcome outcome = negotiator->negotiate(client, doc_id, profile);
       metrics.negotiation_ms_total += watch.elapsed_ms();
       metrics.record(outcome.status);
+      metrics.commit_attempts += static_cast<std::size_t>(outcome.commit_stats.attempts);
+      metrics.commit_retries += static_cast<std::size_t>(outcome.commit_stats.retries);
+      metrics.transient_failures +=
+          static_cast<std::size_t>(outcome.commit_stats.transient_failures);
+      metrics.released_on_failure +=
+          static_cast<std::size_t>(outcome.commit_stats.released_on_failure);
 
       if (!outcome.has_commitment()) return;
 

@@ -12,6 +12,7 @@
 
 #include "core/classify.hpp"
 #include "document/corpus.hpp"
+#include "fault/fault_plan.hpp"
 #include "session/session.hpp"
 #include "sim/metrics.hpp"
 
@@ -52,6 +53,13 @@ struct ExperimentConfig {
   ClassificationPolicy policy;
   AdaptationPolicy adaptation;
   bool adaptation_enabled = true;
+  /// Commitment retry policy (default: single attempt, no retries).
+  RetryPolicy retry;
+
+  /// Fault injection: wrap the farm and the transport in the decorators of
+  /// src/fault, driven by `faults` (seeded there, independently of `seed`).
+  bool fault_injection = false;
+  FaultPlan faults;
 
   /// User-driven renegotiations: Poisson events each picking one playing
   /// session and renegotiating it to a random profile from the mix.

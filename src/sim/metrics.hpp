@@ -34,6 +34,13 @@ struct SimMetrics {
   std::size_t renegotiations = 0;
   std::size_t failed_renegotiations = 0;
 
+  // Commitment effort (retry layer; nonzero retries need a RetryPolicy with
+  // max_attempts > 1, nonzero transient_failures need faults or contention).
+  std::size_t commit_attempts = 0;
+  std::size_t commit_retries = 0;
+  std::size_t transient_failures = 0;
+  std::size_t released_on_failure = 0;
+
   // Playout quality sampling (block-level delivery of completed sessions).
   std::size_t playout_sampled_streams = 0;
   std::size_t playout_stalled_streams = 0;

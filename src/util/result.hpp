@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cassert>
+#include <ostream>
 #include <string>
 #include <utility>
 #include <variant>
@@ -52,5 +53,32 @@ class Result {
  private:
   std::variant<T, E> storage_;
 };
+
+/// A refusal from an admission-control surface (media-server admission,
+/// transport reservation, resource commitment). Carries, besides the
+/// human-readable message, whether the refusal is *transient* — the resource
+/// exists but cannot serve the request right now (capacity exhausted, server
+/// momentarily down, injected fault), so a retry after backoff may succeed —
+/// or *permanent* — the request can never be honoured as stated (unknown
+/// server, no route, non-positive rate), so retrying is pointless. The
+/// commitment walk (paper Step 5) uses the flag to retry only what is worth
+/// retrying and to return FAILEDTRYLATER only when retries were truly
+/// exhausted.
+struct Refusal {
+  std::string message;
+  bool transient = true;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Refusal& refusal) {
+  return os << refusal.message;
+}
+
+inline Err<Refusal> transient_refusal(std::string message) {
+  return Err(Refusal{std::move(message), /*transient=*/true});
+}
+
+inline Err<Refusal> permanent_refusal(std::string message) {
+  return Err(Refusal{std::move(message), /*transient=*/false});
+}
 
 }  // namespace qosnp

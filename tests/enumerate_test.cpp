@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 #include "test_system.hpp"
@@ -247,6 +248,96 @@ TEST(Enumerate, NullDocumentFails) {
   TestSystem sys;
   auto feasible = compatible_variants(nullptr, sys.client, TestSystem::tolerant_profile().mm);
   EXPECT_FALSE(feasible.ok());
+}
+
+// --- Property tests over generated corpora. --------------------------------
+
+TEST(PruneProperty, NeverEmptiesAnyFeasibleListAcrossCorpora) {
+  TestSystem sys;
+  const UserProfile profile = TestSystem::tolerant_profile();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    CorpusConfig corpus;
+    corpus.seed = seed;
+    corpus.num_documents = 4;
+    corpus.servers = {"server-a", "server-b"};
+    for (auto& raw : generate_corpus(corpus)) {
+      auto doc = std::make_shared<const MultimediaDocument>(std::move(raw));
+      auto feasible = compatible_variants(doc, sys.client, profile.mm);
+      if (!feasible.ok()) continue;  // corpus may generate undecodable docs
+      prune_dominated_variants(feasible.value());
+      for (std::size_t i = 0; i < feasible.value().variants.size(); ++i) {
+        EXPECT_FALSE(feasible.value().variants[i].empty())
+            << "seed " << seed << " doc " << doc->id << " monomedia "
+            << feasible.value().monomedia[i]->id;
+      }
+    }
+  }
+}
+
+TEST(PruneProperty, HeadOfClassifiedOrderSurvivesDominationWise) {
+  // Pruning may drop a variant of the best-classified offer only when a
+  // same-server variant with dominating QoS survives — the head of the
+  // order never silently loses quality.
+  TestSystem sys;
+  const UserProfile profile = TestSystem::tolerant_profile();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    CorpusConfig corpus;
+    corpus.seed = seed;
+    corpus.num_documents = 4;
+    corpus.servers = {"server-a", "server-b"};
+    for (auto& raw : generate_corpus(corpus)) {
+      auto doc = std::make_shared<const MultimediaDocument>(std::move(raw));
+      auto feasible = compatible_variants(doc, sys.client, profile.mm);
+      if (!feasible.ok()) continue;
+      OfferList list = enumerate_offers(feasible.value(), profile.mm, CostModel{});
+      if (list.offers.empty()) continue;
+      classify_offers(list.offers, profile.mm, profile.importance);
+      const SystemOffer& head = list.offers.front();
+
+      prune_dominated_variants(feasible.value());
+      for (const OfferComponent& c : head.components) {
+        // Locate this component's feasible list after pruning.
+        const std::vector<const Variant*>* survivors = nullptr;
+        for (std::size_t i = 0; i < feasible.value().monomedia.size(); ++i) {
+          if (feasible.value().monomedia[i] == c.monomedia) {
+            survivors = &feasible.value().variants[i];
+            break;
+          }
+        }
+        ASSERT_NE(survivors, nullptr);
+        bool covered = false;
+        for (const Variant* v : *survivors) {
+          if (v == c.variant ||
+              (v->server == c.variant->server && qos_dominates(v->qos, c.variant->qos))) {
+            covered = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(covered) << "seed " << seed << " doc " << doc->id << " variant "
+                             << c.variant->id << " lost without a dominating survivor";
+      }
+    }
+  }
+}
+
+TEST(CombinationCount, SaturatesAtSizeMaxInsteadOfOverflowing) {
+  // Four monomedia with 2^16 feasible variants each: the true product is
+  // 2^64, one past SIZE_MAX — the count must clamp, not wrap to 0.
+  FeasibleSet huge;
+  huge.monomedia.assign(4, nullptr);
+  huge.variants.assign(4, std::vector<const Variant*>(1u << 16, nullptr));
+  EXPECT_EQ(huge.combination_count(), SIZE_MAX);
+
+  // One variant short of the cliff stays exact.
+  FeasibleSet large;
+  large.monomedia.assign(3, nullptr);
+  large.variants.assign(3, std::vector<const Variant*>(1u << 16, nullptr));
+  EXPECT_EQ(large.combination_count(), std::size_t{1} << 48);
+
+  // Any empty list zeroes the product regardless of the other factors.
+  FeasibleSet with_empty = std::move(huge);
+  with_empty.variants[2].clear();
+  EXPECT_EQ(with_empty.combination_count(), 0u);
 }
 
 }  // namespace

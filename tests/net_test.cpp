@@ -205,7 +205,8 @@ TEST(Transport, SingleBackboneStillRejectsWhenFull) {
   ASSERT_TRUE(transport.reserve("a", "c", stream(8'000'000)).ok());
   auto second = transport.reserve("a", "c", stream(8'000'000));
   ASSERT_FALSE(second.ok());
-  EXPECT_NE(second.error().find("insufficient bandwidth"), std::string::npos);
+  EXPECT_NE(second.error().message.find("insufficient bandwidth"), std::string::npos);
+  EXPECT_TRUE(second.error().transient);
 }
 
 TEST(ScopedFlow, ReleasesOnDestruction) {

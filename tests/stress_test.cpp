@@ -7,13 +7,16 @@
 //   * session states only move forward (no resurrection).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 
 #include "core/report.hpp"
+#include "fault/fault_injector.hpp"
 #include "session/session.hpp"
 #include "sim/experiment.hpp"
 #include "test_system.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qosnp {
 namespace {
@@ -216,6 +219,90 @@ TEST_P(StressSweep, InvariantsHoldUnderRandomOperations) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StressSweep, ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+TEST(FaultStress, ConcurrentCommitsUnderFaultsNeverLeak) {
+  // Hammer a faulty system from the shared thread pool: probabilistic
+  // refusals on servers and routes, retrying committers in every worker.
+  // Invariants: no crash, nothing over-reserved while running, and once all
+  // commitments are dropped nothing stays reserved — on the real components
+  // and on the decorators' admitted/released ledgers alike.
+  TestSystem sys(/*access_bps=*/20'000'000, /*backbone_bps=*/30'000'000,
+                 /*server_bps=*/25'000'000, /*server_sessions=*/8);
+  FaultPlan plan;
+  plan.seed = 2024;
+  plan.server_defaults.transient_failure_p = 0.25;
+  plan.server_defaults.flaky_release_p = 0.25;
+  plan.transport_defaults.transient_failure_p = 0.15;
+  FaultyServerFarm faulty_farm(sys.farm, plan);
+  FaultyTransportProvider faulty_transport(*sys.transport, plan);
+
+  const UserProfile profile = TestSystem::tolerant_profile();
+  auto doc = sys.catalog.find("article");
+  auto feasible = compatible_variants(doc, sys.client, profile.mm);
+  ASSERT_TRUE(feasible.ok());
+  OfferList list = enumerate_offers(feasible.value(), profile.mm, CostModel{});
+
+  std::atomic<int> successes{0};
+  {
+    ThreadPool pool(8);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < 64; ++t) {
+      futures.push_back(pool.submit([&, t] {
+        RetryPolicy retry;
+        retry.max_attempts = 3;
+        retry.seed = 1000u + static_cast<std::uint64_t>(t);
+        ResourceCommitter committer(faulty_farm, faulty_transport, retry);
+        auto c = committer.commit(sys.client, list.offers[t % list.offers.size()]);
+        if (c.ok()) successes.fetch_add(1);
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_GT(successes.load(), 0);
+  EXPECT_EQ(sys.transport->active_flows(), 0u);
+  for (const auto& id : sys.farm.list()) {
+    EXPECT_EQ(sys.farm.find(id)->usage().reserved_bps, 0) << id;
+    EXPECT_EQ(sys.farm.find(id)->usage().sessions, 0) << id;
+  }
+  const FaultStats farm_stats = faulty_farm.stats();
+  EXPECT_EQ(farm_stats.admitted, farm_stats.released);
+  const FaultStats net_stats = faulty_transport.stats();
+  EXPECT_EQ(net_stats.admitted, net_stats.released);
+}
+
+TEST(FaultStress, SequentialFaultedRunIsSeedStable) {
+  // The same plan and the same request order must produce the same outcome
+  // pattern and the same decorator ledgers, run twice.
+  const UserProfile profile = TestSystem::tolerant_profile();
+  auto run = [&] {
+    TestSystem sys(/*access_bps=*/20'000'000, /*backbone_bps=*/30'000'000,
+                   /*server_bps=*/25'000'000, /*server_sessions=*/8);
+    FaultPlan plan;
+    plan.seed = 777;
+    plan.server_defaults.transient_failure_p = 0.25;
+    plan.transport_defaults.transient_failure_p = 0.15;
+    FaultyServerFarm faulty_farm(sys.farm, plan);
+    FaultyTransportProvider faulty_transport(*sys.transport, plan);
+    auto doc = sys.catalog.find("article");
+    auto feasible = compatible_variants(doc, sys.client, profile.mm);
+    EXPECT_TRUE(feasible.ok());
+    OfferList list = enumerate_offers(feasible.value(), profile.mm, CostModel{});
+    RetryPolicy retry;
+    retry.max_attempts = 3;
+    ResourceCommitter committer(faulty_farm, faulty_transport, retry);
+    std::vector<bool> pattern;
+    for (int t = 0; t < 48; ++t) {
+      auto c = committer.commit(sys.client, list.offers[t % list.offers.size()]);
+      pattern.push_back(c.ok());  // commitment (if any) releases right away
+    }
+    const FaultStats farm_stats = faulty_farm.stats();
+    EXPECT_EQ(farm_stats.admitted, farm_stats.released);
+    return std::tuple{pattern, committer.stats().attempts, committer.stats().retries,
+                      committer.stats().transient_failures, farm_stats.injected_refusals,
+                      faulty_transport.stats().injected_refusals};
+  };
+  EXPECT_EQ(run(), run());
+}
 
 }  // namespace
 }  // namespace qosnp
