@@ -50,7 +50,13 @@ class SmartNegotiator final : public Negotiator {
   QoSManager manager_;
 };
 
-/// Shared plumbing of the non-smart baselines.
+/// Shared plumbing of the non-smart baselines. Inherently eager: each
+/// baseline imposes its own order_offers() sort (cost-only / QoS-only),
+/// which is not the classification order the lazy best-first stream yields,
+/// so the whole feasible space is materialised first regardless of
+/// EnumerationConfig::strategy (only max_offers / prune_dominated apply).
+/// The produced OfferList carries no stream and is not sns_ordered, so the
+/// commitment walk treats it exactly as before.
 class EnumeratingNegotiator : public Negotiator {
  public:
   EnumeratingNegotiator(Catalog& catalog, ServerProvider& farm, TransportProvider& transport,

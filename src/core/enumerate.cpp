@@ -1,6 +1,8 @@
 #include "core/enumerate.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 
 #include "qosmap/mapping.hpp"
 #include "util/log.hpp"
@@ -147,6 +149,442 @@ OfferList enumerate_offers(const FeasibleSet& feasible, const MMProfile& profile
     }
   }
   return list;
+}
+
+// ---------------------------------------------------------------------------
+// Lazy best-first stream.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Everything the stream needs to score or materialise one variant, computed
+/// once per variant so classification work is shared across every offer the
+/// variant appears in.
+struct VariantMemo {
+  const Variant* variant = nullptr;
+  StreamRequirements requirements;
+  Money charge;             ///< network + server charge of this stream alone
+  double importance = 0.0;  ///< qos_importance(variant->qos)
+  bool add_bonus = false;   ///< preferred-server bonus applies
+  bool desired_ok = false;  ///< satisfied_by the desired per-medium QoS
+  bool worst_ok = false;    ///< tolerated (meets the worst acceptable QoS)
+  double order_weight = 0.0;  ///< separable OIF contribution, for list order
+};
+
+}  // namespace
+
+struct OfferStream::Impl {
+  FeasibleSet feasible;
+  MMProfile profile;
+  ImportanceProfile importance;
+  CostModel cost_model;
+  ClassificationPolicy policy;
+
+  std::size_t n = 0;
+  /// The importance-weighted rule collapsed to cost-only grading (the user
+  /// assigns zero importance to all QoS characteristics, nonzero to cost).
+  bool cost_only = false;
+  std::size_t total = 0;
+  std::size_t emit_cap = 0;
+  std::size_t emitted = 0;
+  std::size_t generated = 0;
+
+  std::vector<std::vector<VariantMemo>> memo;  ///< [position][feasible index]
+
+  // Per-position index lists into memo[i], each pre-sorted best-first by the
+  // variant's separable OIF contribution. D = desired (and tolerated),
+  // A = tolerated but not desired, T = tolerated, F = all feasible,
+  // V = violating (not tolerated).
+  std::vector<std::vector<std::uint32_t>> desired_, accept_only_, tolerated_, all_, violating_;
+
+  /// One frontier state of a product cursor: the per-position ranks into the
+  /// cursor's lists plus the offer's *exact* final key, computed with the
+  /// same operation sequence as compute_oif / document_cost so it is
+  /// bit-identical to what the eager oracle sorts by.
+  struct Node {
+    std::vector<std::uint32_t> ranks;
+    double oif = 0.0;
+    Money cost;
+  };
+
+  enum class Filter { kNone, kCostWithin, kCostOver };
+
+  /// Best-first walk over the cartesian product of one list per position.
+  struct Cursor {
+    std::vector<const std::vector<std::uint32_t>*> lists;  ///< per position
+    Filter filter = Filter::kNone;
+    std::vector<Node> heap;  ///< binary max-heap, best state on top
+    std::optional<Node> staged;
+    bool seeded = false;
+  };
+
+  struct ClassStream {
+    Sns sns = Sns::kConstraint;
+    bool sns_per_offer = false;  ///< oif_only: compute the SNS at emission
+    std::vector<Cursor> cursors;  ///< disjoint sub-spaces of the class
+  };
+
+  std::vector<ClassStream> classes;
+  std::size_t current_class = 0;
+
+  Impl(FeasibleSet fs, MMProfile prof, ImportanceProfile imp, CostModel cm,
+       ClassificationPolicy pol, std::size_t max_offers)
+      : feasible(std::move(fs)), profile(std::move(prof)), importance(std::move(imp)),
+        cost_model(std::move(cm)), policy(pol) {
+    n = feasible.monomedia.size();
+    total = feasible.combination_count();
+    emit_cap = std::min(total, max_offers);
+    if (emit_cap < total) {
+      QOSNP_LOG_WARN("enumerate", "offer space of ", total, " combinations truncated to ",
+                     emit_cap, " (best-first: the cap keeps the best offers)");
+    }
+    cost_only = policy.sns_rule == ClassificationPolicy::SnsRule::kImportanceWeighted &&
+                importance.cost_per_dollar > 0.0 && !qos_matters(profile, importance);
+    build_memo();
+    build_classes();
+  }
+
+  void build_memo() {
+    memo.resize(n);
+    desired_.resize(n);
+    accept_only_.resize(n);
+    tolerated_.resize(n);
+    all_.resize(n);
+    violating_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& variants = feasible.variants[i];
+      memo[i].reserve(variants.size());
+      for (const Variant* v : variants) {
+        VariantMemo m;
+        m.variant = v;
+        m.requirements = map_variant(*v, feasible.monomedia[i]->duration_s, profile.time);
+        m.charge = cost_model.stream_network_cost(m.requirements) +
+                   cost_model.stream_server_cost(m.requirements);
+        m.importance = importance.qos_importance(v->qos);
+        m.add_bonus = importance.server_bonus != 0.0 && importance.prefers_server(v->server);
+        grade(*v, m);
+        m.order_weight = m.importance + (m.add_bonus ? importance.server_bonus : 0.0) -
+                         importance.cost_importance(m.charge);
+        memo[i].push_back(std::move(m));
+      }
+      auto better_variant = [this, i](std::uint32_t a, std::uint32_t b) {
+        const VariantMemo& ma = memo[i][a];
+        const VariantMemo& mb = memo[i][b];
+        if (ma.order_weight != mb.order_weight) return ma.order_weight > mb.order_weight;
+        if (ma.charge != mb.charge) return ma.charge < mb.charge;
+        return ma.variant->id < mb.variant->id;
+      };
+      for (std::uint32_t j = 0; j < memo[i].size(); ++j) {
+        const VariantMemo& m = memo[i][j];
+        all_[i].push_back(j);
+        if (m.worst_ok) {
+          tolerated_[i].push_back(j);
+          if (m.desired_ok) {
+            desired_[i].push_back(j);
+          } else {
+            accept_only_[i].push_back(j);
+          }
+        } else {
+          violating_[i].push_back(j);
+        }
+      }
+      std::sort(desired_[i].begin(), desired_[i].end(), better_variant);
+      std::sort(accept_only_[i].begin(), accept_only_[i].end(), better_variant);
+      std::sort(tolerated_[i].begin(), tolerated_[i].end(), better_variant);
+      std::sort(all_[i].begin(), all_[i].end(), better_variant);
+      std::sort(violating_[i].begin(), violating_[i].end(), better_variant);
+    }
+  }
+
+  /// Same per-medium predicates qos_satisfaction() applies: an absent
+  /// per-medium profile constrains nothing (counts as satisfied).
+  void grade(const Variant& v, VariantMemo& m) const {
+    std::visit(
+        [&](const auto& q) {
+          using T = std::decay_t<decltype(q)>;
+          if constexpr (std::is_same_v<T, VideoQoS>) {
+            m.desired_ok = !profile.video || profile.video->satisfied_by(q);
+            m.worst_ok = !profile.video || profile.video->tolerates(q);
+          } else if constexpr (std::is_same_v<T, AudioQoS>) {
+            m.desired_ok = !profile.audio || profile.audio->satisfied_by(q);
+            m.worst_ok = !profile.audio || profile.audio->tolerates(q);
+          } else if constexpr (std::is_same_v<T, TextQoS>) {
+            m.desired_ok = !profile.text || profile.text->satisfied_by(q);
+            m.worst_ok = !profile.text || profile.text->tolerates(q);
+          } else {
+            m.desired_ok = !profile.image || profile.image->satisfied_by(q);
+            m.worst_ok = !profile.image || profile.image->tolerates(q);
+          }
+          // A desired-satisfying variant below the worst-acceptable floor
+          // (ill-formed profile) grades CONSTRAINT, exactly like compute_sns.
+          m.desired_ok = m.desired_ok && m.worst_ok;
+        },
+        v.qos);
+  }
+
+  /// Each SNS class is a disjoint union of product sub-spaces, keyed by the
+  /// first position whose variant leaves the class above it:
+  ///   DESIRABLE   = D x ... x D, cost within budget
+  ///   ACCEPTABLE  = D x ... x D over budget, plus for each position j the
+  ///                 sub-space D.. x A_j x T.. (first non-desired at j)
+  ///   CONSTRAINT  = for each j, T.. x V_j x F.. (first violation at j)
+  /// Under cost-only grading: DESIRABLE = all within budget, CONSTRAINT =
+  /// the rest. Under oif_only the SNS is ignored by the order, so a single
+  /// full product is walked and the SNS computed per offer.
+  void build_classes() {
+    if (total == 0) return;
+    auto product = [this](const std::vector<std::vector<std::uint32_t>>& lists, Filter f) {
+      Cursor c;
+      c.filter = f;
+      c.lists.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) c.lists.push_back(&lists[i]);
+      return c;
+    };
+    if (policy.oif_only) {
+      ClassStream s;
+      s.sns_per_offer = true;
+      s.cursors.push_back(product(all_, Filter::kNone));
+      classes.push_back(std::move(s));
+      return;
+    }
+    if (cost_only) {
+      ClassStream d;
+      d.sns = Sns::kDesirable;
+      d.cursors.push_back(product(all_, Filter::kCostWithin));
+      classes.push_back(std::move(d));
+      ClassStream c;
+      c.sns = Sns::kConstraint;
+      c.cursors.push_back(product(all_, Filter::kCostOver));
+      classes.push_back(std::move(c));
+      return;
+    }
+    ClassStream desirable;
+    desirable.sns = Sns::kDesirable;
+    desirable.cursors.push_back(product(desired_, Filter::kCostWithin));
+    classes.push_back(std::move(desirable));
+
+    ClassStream acceptable;
+    acceptable.sns = Sns::kAcceptable;
+    acceptable.cursors.push_back(product(desired_, Filter::kCostOver));
+    for (std::size_t j = 0; j < n; ++j) {
+      Cursor c;
+      c.lists.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        c.lists.push_back(i < j ? &desired_[i] : i == j ? &accept_only_[i] : &tolerated_[i]);
+      }
+      acceptable.cursors.push_back(std::move(c));
+    }
+    classes.push_back(std::move(acceptable));
+
+    ClassStream constraint;
+    constraint.sns = Sns::kConstraint;
+    for (std::size_t j = 0; j < n; ++j) {
+      Cursor c;
+      c.lists.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        c.lists.push_back(i < j ? &tolerated_[i] : i == j ? &violating_[i] : &all_[i]);
+      }
+      constraint.cursors.push_back(std::move(c));
+    }
+    classes.push_back(std::move(constraint));
+  }
+
+  const VariantMemo& memo_at(const Cursor& c, const Node& node, std::size_t i) const {
+    return memo[i][(*c.lists[i])[node.ranks[i]]];
+  }
+
+  /// Score a frontier state with the offer's exact final key: the OIF is
+  /// accumulated in the same order compute_oif would (component importances
+  /// plus bonuses in position order, minus the cost importance of the total)
+  /// and the Money total is exact integer arithmetic, so both match the
+  /// materialised offer bit for bit.
+  Node make_node(const Cursor& c, std::vector<std::uint32_t> ranks) {
+    Node node;
+    node.ranks = std::move(ranks);
+    double qos_sum = 0.0;
+    Money cost = feasible.document->copyright_cost;
+    for (std::size_t i = 0; i < n; ++i) {
+      const VariantMemo& m = memo[i][(*c.lists[i])[node.ranks[i]]];
+      qos_sum += m.importance;
+      if (m.add_bonus) qos_sum += importance.server_bonus;
+      cost += m.charge;
+    }
+    node.cost = cost;
+    node.oif = qos_sum - importance.cost_importance(cost);
+    ++generated;
+    return node;
+  }
+
+  /// The within-class classification order: OIF descending, then cheaper
+  /// first, then variant ids — the same comparator classify_offers sorts
+  /// with (the SNS key is constant inside a class stream).
+  bool node_better(const Cursor& ca, const Node& a, const Cursor& cb, const Node& b) const {
+    if (a.oif != b.oif) return a.oif > b.oif;
+    if (a.cost != b.cost) return a.cost < b.cost;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& ida = memo_at(ca, a, i).variant->id;
+      const auto& idb = memo_at(cb, b, i).variant->id;
+      if (ida != idb) return ida < idb;
+    }
+    return false;
+  }
+
+  void heap_push(Cursor& c, Node node) {
+    c.heap.push_back(std::move(node));
+    std::push_heap(c.heap.begin(), c.heap.end(), [this, &c](const Node& a, const Node& b) {
+      return node_better(c, b, c, a);  // max-heap: top is the best state
+    });
+  }
+
+  Node heap_pop(Cursor& c) {
+    std::pop_heap(c.heap.begin(), c.heap.end(), [this, &c](const Node& a, const Node& b) {
+      return node_better(c, b, c, a);
+    });
+    Node node = std::move(c.heap.back());
+    c.heap.pop_back();
+    return node;
+  }
+
+  /// Push the unexplored neighbours of a popped state. Each state has a
+  /// unique canonical predecessor (decrement its last nonzero rank), so
+  /// incrementing only ranks at or after the last nonzero one generates
+  /// every state exactly once — no visited-set needed.
+  void expand(Cursor& c, const Node& node) {
+    std::size_t tail = 0;
+    for (std::size_t i = n; i-- > 0;) {
+      if (node.ranks[i] > 0) {
+        tail = i;
+        break;
+      }
+    }
+    for (std::size_t j = tail; j < n; ++j) {
+      if (node.ranks[j] + 1 < c.lists[j]->size()) {
+        std::vector<std::uint32_t> next = node.ranks;
+        ++next[j];
+        heap_push(c, make_node(c, std::move(next)));
+      }
+    }
+  }
+
+  bool passes(const Cursor& c, const Node& node) const {
+    switch (c.filter) {
+      case Filter::kNone: return true;
+      case Filter::kCostWithin: return node.cost <= profile.cost.max_cost;
+      case Filter::kCostOver: return node.cost > profile.cost.max_cost;
+    }
+    return true;
+  }
+
+  /// Stage the cursor's next filter-passing state (filtered states still
+  /// expand — their successors may pass).
+  const Node* peek(Cursor& c) {
+    if (!c.seeded) {
+      c.seeded = true;
+      bool empty = false;
+      for (const auto* list : c.lists) empty = empty || list->empty();
+      if (!empty) heap_push(c, make_node(c, std::vector<std::uint32_t>(n, 0)));
+    }
+    while (!c.staged && !c.heap.empty()) {
+      Node node = heap_pop(c);
+      expand(c, node);
+      if (passes(c, node)) c.staged = std::move(node);
+    }
+    return c.staged ? &*c.staged : nullptr;
+  }
+
+  SystemOffer materialise(const Cursor& c, const Node& node, const ClassStream& cls) {
+    SystemOffer offer;
+    offer.components.reserve(n);
+    std::vector<StreamRequirements> streams;
+    streams.reserve(n);
+    bool all_desired = true;
+    bool all_worst = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const VariantMemo& m = memo_at(c, node, i);
+      OfferComponent component;
+      component.monomedia = feasible.monomedia[i];
+      component.variant = m.variant;
+      component.requirements = m.requirements;
+      streams.push_back(component.requirements);
+      offer.components.push_back(std::move(component));
+      all_desired = all_desired && m.desired_ok;
+      all_worst = all_worst && m.worst_ok;
+    }
+    offer.cost = cost_model.document_cost(feasible.document->copyright_cost, streams);
+    offer.oif = node.oif;
+    if (cls.sns_per_offer) {
+      const bool cost_within = node.cost <= profile.cost.max_cost;
+      if (cost_only) {
+        offer.sns = cost_within ? Sns::kDesirable : Sns::kConstraint;
+      } else if (!all_worst) {
+        offer.sns = Sns::kConstraint;
+      } else {
+        offer.sns = all_desired && cost_within ? Sns::kDesirable : Sns::kAcceptable;
+      }
+    } else {
+      offer.sns = cls.sns;
+    }
+    return offer;
+  }
+
+  std::optional<SystemOffer> next() {
+    if (emitted >= emit_cap) return std::nullopt;
+    while (current_class < classes.size()) {
+      ClassStream& cls = classes[current_class];
+      Cursor* best = nullptr;
+      const Node* best_node = nullptr;
+      for (Cursor& cursor : cls.cursors) {
+        const Node* node = peek(cursor);
+        if (node == nullptr) continue;
+        if (best == nullptr || node_better(cursor, *node, *best, *best_node)) {
+          best = &cursor;
+          best_node = node;
+        }
+      }
+      if (best == nullptr) {
+        ++current_class;
+        continue;
+      }
+      Node node = std::move(*best->staged);
+      best->staged.reset();
+      SystemOffer offer = materialise(*best, node, cls);
+      ++emitted;
+      return offer;
+    }
+    return std::nullopt;
+  }
+};
+
+OfferStream::OfferStream(FeasibleSet feasible, MMProfile profile, ImportanceProfile importance,
+                         CostModel cost_model, ClassificationPolicy policy,
+                         std::size_t max_offers)
+    : impl_(std::make_unique<Impl>(std::move(feasible), std::move(profile),
+                                   std::move(importance), std::move(cost_model), policy,
+                                   max_offers)) {}
+
+OfferStream::~OfferStream() = default;
+
+std::optional<SystemOffer> OfferStream::next() { return impl_->next(); }
+std::size_t OfferStream::total_combinations() const { return impl_->total; }
+std::size_t OfferStream::emit_limit() const { return impl_->emit_cap; }
+std::size_t OfferStream::yielded() const { return impl_->emitted; }
+bool OfferStream::exhausted() const { return impl_->emitted >= impl_->emit_cap; }
+std::size_t OfferStream::states_generated() const { return impl_->generated; }
+
+bool OfferList::fetch_next() {
+  if (!stream) return false;
+  std::optional<SystemOffer> offer = stream->next();
+  if (!offer) {
+    stream.reset();  // drained: free the frontier
+    return false;
+  }
+  offers.push_back(std::move(*offer));
+  return true;
+}
+
+std::size_t OfferList::known_count() const {
+  if (!stream) return offers.size();
+  return std::max(offers.size(), stream->emit_limit());
 }
 
 }  // namespace qosnp

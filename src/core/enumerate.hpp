@@ -9,9 +9,11 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "client/client_machine.hpp"
+#include "core/classify.hpp"
 #include "core/offer.hpp"
 #include "cost/cost_model.hpp"
 #include "document/model.hpp"
@@ -19,9 +21,23 @@
 
 namespace qosnp {
 
+enum class EnumerationStrategy {
+  /// Materialise the full cartesian product (up to the cap), then classify
+  /// and sort. Kept as the differential-test oracle.
+  kEager,
+  /// Lazy best-first stream: offers are produced one at a time, already
+  /// classified, in exactly the order the eager path would sort them into.
+  /// Negotiation cost scales with offers *consumed*, not offers *possible*,
+  /// and the cap keeps the best offers instead of a mixed-radix prefix.
+  kBestFirst,
+};
+
 struct EnumerationConfig {
   /// Hard cap on enumerated combinations; the excess is dropped (flagged in
-  /// OfferList::truncated).
+  /// OfferList::truncated). Under kBestFirst the cap bounds how many offers
+  /// the stream will ever yield — and since the stream is best-first, the
+  /// capped set is the *best* max_offers of the whole product, not the first
+  /// max_offers in document order.
   std::size_t max_offers = 20'000;
   /// Drop variants dominated by a same-server sibling (better-or-equal QoS
   /// at lower-or-equal block rates): such variants can never appear in a
@@ -29,6 +45,7 @@ struct EnumerationConfig {
   /// changing the negotiation result. Off by default because the unpruned
   /// ladder is what the paper's adaptation procedure falls back onto.
   bool prune_dominated = false;
+  EnumerationStrategy strategy = EnumerationStrategy::kBestFirst;
 };
 
 /// Per-monomedia feasible variants after Step 2.
@@ -65,5 +82,47 @@ std::size_t prune_dominated_variants(FeasibleSet& feasible);
 /// sns/oif are left for classify_offers.
 OfferList enumerate_offers(const FeasibleSet& feasible, const MMProfile& profile,
                            const CostModel& cost_model, EnumerationConfig config = {});
+
+/// Lazy best-first generator over the offer space (Steps 3+4 fused into the
+/// enumeration): next() yields system offers with sns/oif already filled, in
+/// exactly the classification order of classify_offers — SNS ascending, then
+/// OIF descending, then cheaper first, then variant ids.
+///
+/// How: every per-monomedia feasible set is partitioned by the profile into
+/// desired / acceptable-only / violating variants and pre-sorted by the
+/// variant's separable OIF contribution (its QoS importance, server bonus,
+/// and the cost importance of its own stream charge — all memoised once, so
+/// classification work is shared across every offer the variant appears in).
+/// Each SNS class is the disjoint union of a few cartesian-product
+/// sub-spaces; each sub-space is walked with a heap of frontier states whose
+/// keys are the *exact* materialised (oif, cost, ids) of the offer, so
+/// emission order is bit-identical to the eager sort. Pulling one offer
+/// costs O(n log frontier) instead of O(product).
+class OfferStream {
+ public:
+  OfferStream(FeasibleSet feasible, MMProfile profile, ImportanceProfile importance,
+              CostModel cost_model, ClassificationPolicy policy, std::size_t max_offers);
+  ~OfferStream();
+  OfferStream(const OfferStream&) = delete;
+  OfferStream& operator=(const OfferStream&) = delete;
+
+  /// The next-best offer, or nullopt once emit_limit() offers were yielded.
+  std::optional<SystemOffer> next();
+
+  /// Cartesian-product size (saturating, like combination_count()).
+  std::size_t total_combinations() const;
+  /// min(total_combinations, max_offers): how many offers next() will yield.
+  std::size_t emit_limit() const;
+  std::size_t yielded() const;
+  bool exhausted() const;
+  /// Frontier states scored so far — the stream's actual work, for tests and
+  /// benches to assert laziness (stays near yielded()*n even when the
+  /// product is astronomical).
+  std::size_t states_generated() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace qosnp

@@ -55,14 +55,36 @@ struct SystemOffer {
   std::string describe() const;
 };
 
+class OfferStream;
+
 /// The enumerated offer space for one request. Owns the document reference
 /// the component pointers index into (the catalog may drop the document
 /// while a negotiation over it is in flight).
+///
+/// With the lazy best-first strategy `offers` is only the consumed prefix
+/// (already in final classification order) and `stream` holds the
+/// not-yet-materialised tail; fetch_next() pulls one more offer. A list with
+/// a live stream should be moved, not copied — copies would share the stream
+/// and steal offers from each other.
 struct OfferList {
   std::shared_ptr<const MultimediaDocument> document;
   std::vector<SystemOffer> offers;  ///< classified best-to-worst after Step 4
   std::size_t total_combinations = 0;
   bool truncated = false;  ///< the enumeration cap dropped combinations
+  /// Lazy tail of the classification order; null for eager lists and once
+  /// the stream is drained.
+  std::shared_ptr<OfferStream> stream;
+  /// The list is ordered SNS-first (the smart procedure's order). Lets the
+  /// commitment walk stop fetching at the first CONSTRAINT offer.
+  bool sns_ordered = false;
+
+  /// Materialise the next offer from the stream into `offers`. Returns false
+  /// when there is no stream or it is exhausted (and drops the drained
+  /// stream). Defined in enumerate.cpp.
+  bool fetch_next();
+  /// Offers reachable through this list: materialised prefix plus the
+  /// stream's remaining yield. Equals offers.size() for eager lists.
+  std::size_t known_count() const;
 };
 
 /// Definition 2.

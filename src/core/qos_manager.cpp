@@ -22,7 +22,7 @@ UserOffer local_offer_from(const MMProfile& clipped) {
   return offer;
 }
 
-CommitAttempt QoSManager::commit_first(const ClientMachine& client, const OfferList& offers,
+CommitAttempt QoSManager::commit_first(const ClientMachine& client, OfferList& offers,
                                        const MMProfile& profile,
                                        std::span<const std::size_t> exclude) {
   CommitAttempt attempt;
@@ -35,9 +35,17 @@ CommitAttempt QoSManager::commit_first(const ClientMachine& client, const OfferL
   // system offers, the same procedure is applied on the feasible (not
   // acceptable) system offers").
   for (int pass = 0; pass < 2; ++pass) {
-    for (std::size_t i = 0; i < offers.offers.size(); ++i) {
-      if (excluded(i)) continue;
+    for (std::size_t i = 0;; ++i) {
+      // Materialise the next offer from the lazy stream when the walk runs
+      // off the end of the consumed prefix.
+      if (i >= offers.offers.size() && !offers.fetch_next()) break;
       const SystemOffer& offer = offers.offers[i];
+      // A satisfying offer needs the tolerable QoS at acceptable cost, which
+      // no CONSTRAINT offer provides; in an SNS-ordered list everything after
+      // the first CONSTRAINT is CONSTRAINT too, so the satisfying pass can
+      // stop fetching there (the lazy walk's whole point).
+      if (pass == 0 && offers.sns_ordered && offer.sns == Sns::kConstraint) break;
+      if (excluded(i)) continue;
       const bool satisfying = satisfies_user(offer, profile);
       if ((pass == 0) != satisfying) continue;
       auto committed = committer.commit(client, offer);
@@ -102,19 +110,37 @@ NegotiationOutcome QoSManager::negotiate_document(
       QOSNP_LOG_DEBUG("negotiate", "pruned ", dropped, " dominated variants");
     }
   }
-  outcome.offers =
-      enumerate_offers(feasible.value(), profile.mm, cost_model_, config_.enumeration);
+  if (config_.enumeration.strategy == EnumerationStrategy::kBestFirst) {
+    // Lazy best-first stream: Steps 3+4 are fused into the enumeration and
+    // offers materialise one at a time as Step 5 walks them.
+    auto stream = std::make_shared<OfferStream>(std::move(feasible.value()), profile.mm,
+                                                profile.importance, cost_model_, config_.policy,
+                                                config_.enumeration.max_offers);
+    outcome.offers.document = document;
+    outcome.offers.total_combinations = stream->total_combinations();
+    outcome.offers.truncated = stream->emit_limit() < stream->total_combinations();
+    outcome.offers.stream = std::move(stream);
+  } else {
+    outcome.offers =
+        enumerate_offers(feasible.value(), profile.mm, cost_model_, config_.enumeration);
+  }
   if (outcome.offers.truncated) {
     outcome.problems.push_back(
-        "offer space truncated to " + std::to_string(outcome.offers.offers.size()) + " of " +
+        "offer space truncated to " + std::to_string(outcome.offers.known_count()) + " of " +
         std::to_string(outcome.offers.total_combinations) + " combinations");
   }
-  ThreadPool* pool = nullptr;
-  if (config_.parallel_threshold > 0 &&
-      outcome.offers.offers.size() >= config_.parallel_threshold) {
-    pool = &ThreadPool::shared();
+  if (config_.enumeration.strategy == EnumerationStrategy::kBestFirst) {
+    // The stream yields offers already classified in final order.
+    outcome.offers.sns_ordered = !config_.policy.oif_only;
+  } else {
+    ThreadPool* pool = nullptr;
+    if (config_.parallel_threshold > 0 &&
+        outcome.offers.offers.size() >= config_.parallel_threshold) {
+      pool = &ThreadPool::shared();
+    }
+    classify_offers(outcome.offers.offers, profile.mm, profile.importance, config_.policy, pool);
+    outcome.offers.sns_ordered = !config_.policy.oif_only;
   }
-  classify_offers(outcome.offers.offers, profile.mm, profile.importance, config_.policy, pool);
 
   // Step 5: resource commitment.
   CommitAttempt attempt = commit_first(client, outcome.offers, profile.mm);
@@ -138,7 +164,7 @@ NegotiationOutcome QoSManager::negotiate_document(
                        : NegotiationStatus::kFailedWithOffer;
   QOSNP_LOG_INFO("negotiate", "document '", document->id, "' for ", client.name, ": ",
                  to_string(outcome.status), " (offer ", attempt.index, " of ",
-                 outcome.offers.offers.size(), ")");
+                 outcome.offers.known_count(), ")");
   return outcome;
 }
 

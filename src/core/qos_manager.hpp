@@ -30,10 +30,14 @@
 namespace qosnp {
 
 struct NegotiationConfig {
+  /// Offer-space strategy. The default kBestFirst streams offers lazily in
+  /// classification order (Step 5 pulls them one at a time); kEager
+  /// materialises and sorts the whole product — kept as the test oracle.
   EnumerationConfig enumeration;
   ClassificationPolicy policy;
   /// Classify offers on the shared thread pool when the list is at least
-  /// this large (0 disables parallel classification).
+  /// this large (0 disables parallel classification). Eager strategy only —
+  /// the best-first stream classifies incrementally as offers are pulled.
   std::size_t parallel_threshold = 512;
   /// How resource commitment retries transiently-refused offers before the
   /// walk falls through to the next (worse) offer. Default: no retries.
@@ -90,8 +94,10 @@ class QoSManager {
   /// satisfying the user requirements, then the rest, skipping indices in
   /// `exclude`; commit the first that the servers and the transport accept.
   /// Also the engine of the adaptation procedure (exclude = offers already
-  /// tried or in difficulty).
-  CommitAttempt commit_first(const ClientMachine& client, const OfferList& offers,
+  /// tried or in difficulty). Takes the list by mutable reference because a
+  /// lazy list materialises further offers from its stream as the walk
+  /// reaches them.
+  CommitAttempt commit_first(const ClientMachine& client, OfferList& offers,
                              const MMProfile& profile,
                              std::span<const std::size_t> exclude = {});
 

@@ -46,7 +46,10 @@ std::string render_classification_table(const NegotiationOutcome& outcome,
                                         const MMProfile& profile, std::size_t max_rows) {
   std::ostringstream os;
   const auto& offers = outcome.offers.offers;
-  os << "classified " << offers.size() << " system offers";
+  // known_count covers the lazy tail (offers the stream can still yield but
+  // that the commitment walk never needed to materialise).
+  const std::size_t known = outcome.offers.known_count();
+  os << "classified " << known << " system offers";
   if (outcome.offers.truncated) {
     os << " (truncated from " << outcome.offers.total_combinations << ")";
   }
@@ -65,7 +68,7 @@ std::string render_classification_table(const NegotiationOutcome& outcome,
     }
     os << '\n';
   }
-  if (rows < offers.size()) os << "  ... " << offers.size() - rows << " more\n";
+  if (rows < known) os << "  ... " << known - rows << " more\n";
   if (outcome.committed_index != SIZE_MAX && outcome.committed_index >= rows) {
     os << "> committed: rank " << outcome.committed_index + 1 << '\n';
   }
@@ -86,7 +89,7 @@ std::string render_information_window(const NegotiationOutcome& outcome) {
   }
   if (outcome.has_commitment()) {
     os << "| reserved: offer " << outcome.committed_index + 1 << " of "
-       << outcome.offers.offers.size() << " classified configurations\n";
+       << outcome.offers.known_count() << " classified configurations\n";
   }
   for (const std::string& problem : outcome.problems) {
     os << "| note: " << problem << '\n';

@@ -226,7 +226,7 @@ std::optional<SessionView> SessionManager::snapshot(SessionId id) const {
   view.id = s.id;
   view.state = s.state;
   view.current_offer = s.current_offer;
-  view.offer_count = s.offers.offers.size();
+  view.offer_count = s.offers.known_count();
   view.position_s = s.position_s;
   view.duration_s = s.duration_s;
   view.confirm_deadline_s = s.confirm_deadline_s;

@@ -153,6 +153,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   NegotiationConfig nego_config;
+  nego_config.enumeration = config.enumeration;
   nego_config.policy = config.policy;
   nego_config.retry = config.retry;
   auto qos_manager = std::make_unique<QoSManager>(catalog, *server_provider,
@@ -173,12 +174,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     case Strategy::kCostOnly:
       negotiator = std::make_unique<CostOnlyNegotiator>(catalog, *server_provider,
                                                         *transport_provider, CostModel{},
-                                                        EnumerationConfig{}, config.retry);
+                                                        config.enumeration, config.retry);
       break;
     case Strategy::kQoSOnly:
       negotiator = std::make_unique<QoSOnlyNegotiator>(catalog, *server_provider,
                                                        *transport_provider, CostModel{},
-                                                       EnumerationConfig{}, config.retry);
+                                                       config.enumeration, config.retry);
       break;
   }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/classify.hpp"
+#include "core/enumerate.hpp"
 #include "document/corpus.hpp"
 #include "fault/fault_plan.hpp"
 #include "session/session.hpp"
@@ -50,6 +51,10 @@ struct ExperimentConfig {
 
   // Strategy under test.
   Strategy strategy = Strategy::kSmart;
+  /// Offer-space settings (enumeration strategy, cap, pruning) threaded to
+  /// the negotiator under test — lets experiments compare lazy best-first
+  /// against the eager oracle on identical workloads.
+  EnumerationConfig enumeration;
   ClassificationPolicy policy;
   AdaptationPolicy adaptation;
   bool adaptation_enabled = true;

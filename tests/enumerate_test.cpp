@@ -340,5 +340,92 @@ TEST(CombinationCount, SaturatesAtSizeMaxInsteadOfOverflowing) {
   EXPECT_EQ(with_empty.combination_count(), 0u);
 }
 
+/// A document of `media` text monomedia, each with an English and a French
+/// variant — a real (materialisable) document whose product is 2^media.
+std::shared_ptr<const MultimediaDocument> power_of_two_document(std::size_t media) {
+  MultimediaDocument doc;
+  doc.id = "pow2";
+  doc.copyright_cost = Money::cents(10);
+  for (std::size_t i = 0; i < media; ++i) {
+    Monomedia text;
+    text.id = "pow2/text" + std::to_string(i);
+    text.kind = MediaKind::kText;
+    text.variants = {
+        make_text_variant(text.id + "/en", Language::kEnglish, CodingFormat::kPlainText, 4'000,
+                          "server-a"),
+        make_text_variant(text.id + "/fr", Language::kFrench, CodingFormat::kPlainText, 4'000,
+                          "server-b"),
+    };
+    doc.monomedia.push_back(std::move(text));
+  }
+  return std::make_shared<const MultimediaDocument>(std::move(doc));
+}
+
+TEST(CombinationCount, SixtyFourMediaCorpusSaturatesEverywhere) {
+  // 64 media x 2 variants: the true product is 2^64, one past SIZE_MAX.
+  // Every consumer of the count — the feasible set, the eager enumerator's
+  // total, and the stream's total — must see the saturated value, and the
+  // eager cap arithmetic must not wrap.
+  TestSystem sys;
+  auto doc = power_of_two_document(64);
+  UserProfile profile;
+  profile.mm.video.reset();
+  profile.mm.audio.reset();
+  profile.mm.image.reset();
+  profile.mm.text = TextProfile{};
+  profile.mm.text->acceptable = {Language::kFrench};
+  auto feasible = compatible_variants(doc, sys.client, profile.mm);
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_EQ(feasible.value().combination_count(), SIZE_MAX);
+
+  EnumerationConfig config;
+  config.max_offers = 4;
+  config.strategy = EnumerationStrategy::kEager;
+  const OfferList list = enumerate_offers(feasible.value(), profile.mm, CostModel{}, config);
+  EXPECT_EQ(list.total_combinations, SIZE_MAX);
+  EXPECT_TRUE(list.truncated);
+  EXPECT_EQ(list.offers.size(), 4u);
+
+  OfferStream stream(feasible.value(), profile.mm, profile.importance, CostModel{},
+                     ClassificationPolicy{}, 4);
+  EXPECT_EQ(stream.total_combinations(), SIZE_MAX);
+  EXPECT_EQ(stream.emit_limit(), 4u);
+}
+
+TEST(OfferStream, PullsFromAnAstronomicalProductWithoutEnumeratingIt) {
+  // The same 2^64-combination document: the stream must yield its best
+  // offers instantly, scoring only a frontier of states — this is the whole
+  // point of laziness, and would OOM (or never finish) eagerly uncapped.
+  TestSystem sys;
+  auto doc = power_of_two_document(64);
+  UserProfile profile;
+  profile.mm.video.reset();
+  profile.mm.audio.reset();
+  profile.mm.image.reset();
+  profile.mm.text = TextProfile{};
+  profile.mm.text->acceptable = {Language::kFrench};
+  profile.mm.cost.max_cost = Money::dollars(100);
+  auto feasible = compatible_variants(doc, sys.client, profile.mm);
+  ASSERT_TRUE(feasible.ok());
+  OfferStream stream(std::move(feasible.value()), profile.mm, profile.importance, CostModel{},
+                     ClassificationPolicy{}, 8);
+  // The very best offer: the desired (English) variant of all 64 texts.
+  auto best = stream.next();
+  ASSERT_TRUE(best.has_value());
+  ASSERT_EQ(best->components.size(), 64u);
+  for (const OfferComponent& c : best->components) {
+    EXPECT_EQ(c.variant->id.substr(c.variant->id.size() - 3), "/en");
+  }
+  EXPECT_EQ(best->sns, Sns::kDesirable);
+  for (int i = 1; i < 8; ++i) {
+    EXPECT_TRUE(stream.next().has_value()) << "offer " << i;
+  }
+  EXPECT_FALSE(stream.next().has_value());
+  // Work scales with offers consumed x positions (each pop expands at most
+  // one successor per position, plus one root per sub-space cursor) — a few
+  // thousand states, not the 2^64 product.
+  EXPECT_LT(stream.states_generated(), 8u * 64u * 8u);
+}
+
 }  // namespace
 }  // namespace qosnp

@@ -150,7 +150,7 @@ TEST_F(SessionFixture, ExcludeAllTriedPolicyExhaustsLadder) {
   UserProfile profile = TestSystem::tolerant_profile();
   NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
   ASSERT_TRUE(outcome.has_commitment());
-  const std::size_t ladder = outcome.offers.offers.size();
+  const std::size_t ladder = outcome.offers.known_count();
   auto opened = strict.open(sys.client, profile, std::move(outcome), 0.0);
   ASSERT_TRUE(opened.ok());
   strict.confirm(opened.value(), 1.0);
