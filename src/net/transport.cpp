@@ -1,6 +1,7 @@
 #include "net/transport.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "util/log.hpp"
@@ -76,6 +77,9 @@ bool TransportService::release(FlowId id) {
   for (std::size_t link : it->second.path) {
     reserved_[link] -= it->second.reserved_bps;
     --link_flow_count_[link];
+    // A negative ledger means an admit/release was lost or double-counted;
+    // with all updates under mu_ this cannot happen — keep it checked.
+    assert(reserved_[link] >= 0 && "link reservation went negative");
   }
   flows_.erase(it);
   return true;
@@ -130,9 +134,30 @@ void TransportService::restore_link(std::size_t link_index) {
   effective_capacity_[link_index] = topology_.link(link_index).capacity_bps;
 }
 
+bool TransportService::accounting_consistent() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::int64_t> reserved(reserved_.size(), 0);
+  std::vector<std::size_t> counts(link_flow_count_.size(), 0);
+  for (const auto& [id, info] : flows_) {
+    for (std::size_t link : info.path) {
+      reserved[link] += info.reserved_bps;
+      ++counts[link];
+    }
+  }
+  return reserved == reserved_ && counts == link_flow_count_;
+}
+
+std::int64_t TransportService::total_reserved_bps() const {
+  std::lock_guard lk(mu_);
+  std::int64_t total = 0;
+  for (std::int64_t r : reserved_) total += r;
+  return total;
+}
+
 LinkUsage TransportService::link_usage(std::size_t link_index) const {
   std::lock_guard lk(mu_);
   LinkUsage usage;
+  if (link_index >= topology_.link_count()) return usage;
   usage.capacity_bps = topology_.link(link_index).capacity_bps;
   usage.effective_capacity_bps = effective_capacity_[link_index];
   usage.reserved_bps = reserved_[link_index];

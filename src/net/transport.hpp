@@ -90,6 +90,16 @@ class TransportService final : public TransportProvider {
   /// Sum of reserved-rate x capacity ratios over links (mean utilisation).
   double mean_utilization() const;
 
+  /// Recompute every link's ledger from the live flow table and compare it
+  /// with the incremental accounting reserve()/release() maintain. The
+  /// concurrency tests call this after hammering the service from many
+  /// workers: any lost or double-counted update shows up as a mismatch.
+  bool accounting_consistent() const;
+
+  /// Sum of reserved bandwidth over all links (0 iff nothing is held, the
+  /// drain invariant of the service tests).
+  std::int64_t total_reserved_bps() const;
+
  private:
   std::vector<FlowId> overfull_victims_locked(std::size_t link_index);
 

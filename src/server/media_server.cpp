@@ -1,6 +1,7 @@
 #include "server/media_server.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <memory>
 
@@ -35,6 +36,7 @@ bool MediaServer::release(StreamId id) {
   auto it = streams_.find(id);
   if (it == streams_.end()) return false;
   reserved_ -= it->second;
+  assert(reserved_ >= 0 && "disk bandwidth ledger went negative");
   streams_.erase(it);
   return true;
 }

@@ -1,0 +1,86 @@
+// Bounded MPMC blocking queue: the admission edge of the negotiation
+// service. Producers (request submitters) use the non-blocking try_push —
+// a full queue is the service's backpressure signal and the caller sheds
+// the request with FAILEDTRYLATER; consumers (the worker pool) block in
+// pop() until work arrives or the queue is closed and drained.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <utility>
+
+namespace qosnp {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking admit. Returns false (without consuming `item`) when the
+  /// queue is full or closed — the shed decision is the caller's.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard lk(mu_);
+      if (closed_ || queue_.size() >= capacity_) return false;
+      queue_.push(std::move(item));
+      high_water_ = std::max(high_water_, queue_.size());
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking take. Empty optional once the queue is closed *and* drained —
+  /// close() lets consumers finish the backlog before they exit.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop();
+    return item;
+  }
+
+  /// Stop accepting pushes and wake every blocked consumer.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return queue_.size();
+  }
+
+  /// Deepest backlog ever observed (the "queue depth" service metric).
+  std::size_t high_water() const {
+    std::lock_guard lk(mu_);
+    return high_water_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<T> queue_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace qosnp

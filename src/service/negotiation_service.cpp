@@ -1,0 +1,189 @@
+#include "service/negotiation_service.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace qosnp {
+
+std::string_view to_string(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone: return "none";
+    case ShedReason::kQueueFull: return "queue-full";
+    case ShedReason::kDeadlineExpired: return "deadline-expired";
+  }
+  return "?";
+}
+
+SimMetrics ServiceReport::to_sim_metrics() const {
+  SimMetrics m;
+  m.arrivals = submitted;
+  for (std::size_t i = 0; i < by_status.size(); ++i) m.by_status[i] = by_status[i];
+  m.confirmed = sessions_confirmed;
+  m.negotiation_ms_total = latency.sum_ms();
+  m.service_requests = submitted;
+  m.shed_queue_full = shed_queue_full;
+  m.shed_deadline = shed_deadline;
+  m.queue_high_water = queue_high_water;
+  m.latency_p50_ms = latency.quantile_ms(0.50);
+  m.latency_p95_ms = latency.quantile_ms(0.95);
+  m.latency_p99_ms = latency.quantile_ms(0.99);
+  m.service_throughput_rps = throughput_rps();
+  return m;
+}
+
+std::string ServiceReport::summary() const {
+  std::ostringstream os;
+  os << "submitted=" << submitted << " processed=" << processed
+     << " shed-queue=" << shed_queue_full << " shed-deadline=" << shed_deadline
+     << " opened=" << sessions_opened << " confirmed=" << sessions_confirmed
+     << " queue-high-water=" << queue_high_water << " throughput="
+     << throughput_rps() << "/s p50=" << latency.quantile_ms(0.50)
+     << "ms p95=" << latency.quantile_ms(0.95) << "ms p99=" << latency.quantile_ms(0.99)
+     << "ms";
+  return os.str();
+}
+
+NegotiationService::NegotiationService(QoSManager& manager, SessionManager& sessions,
+                                       ServiceConfig config)
+    : manager_(&manager),
+      sessions_(&sessions),
+      config_(config),
+      queue_(config.queue_capacity) {
+  if (config_.workers == 0) config_.workers = 1;
+  worker_stats_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    worker_stats_.push_back(std::make_unique<WorkerStats>());
+  }
+}
+
+NegotiationService::~NegotiationService() { stop(); }
+
+void NegotiationService::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  started_ms_ = clock_.elapsed_ms();
+  stopped_ms_ = 0.0;
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  QOSNP_LOG_INFO("service", "started ", config_.workers, " workers, queue capacity ",
+                 queue_.capacity());
+}
+
+void NegotiationService::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  queue_.close();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  stopped_ms_ = clock_.elapsed_ms();
+  QOSNP_LOG_INFO("service", "stopped; ", submitted_.load(), " requests submitted");
+}
+
+std::future<ServiceResponse> NegotiationService::submit(ServiceRequest request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Item item;
+  item.accepted_ms = clock_.elapsed_ms();
+  item.request = std::move(request);
+  std::future<ServiceResponse> future = item.promise.get_future();
+  if (!running_.load(std::memory_order_acquire) || !queue_.try_push(std::move(item))) {
+    // Load shedding at the queue edge: the bounded queue is full (or the
+    // service is not accepting). FAILEDTRYLATER is the honest verdict —
+    // the overload is transient by definition.
+    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    ServiceResponse shed;
+    shed.request_id = item.request.id;
+    shed.status = NegotiationStatus::kFailedTryLater;
+    shed.shed = ShedReason::kQueueFull;
+    shed.total_ms = clock_.elapsed_ms() - item.accepted_ms;
+    QOSNP_LOG_DEBUG("service", "shed request ", item.request.id, " at the queue edge");
+    item.promise.set_value(std::move(shed));
+  }
+  return future;
+}
+
+void NegotiationService::worker_loop(std::size_t index) {
+  set_log_tag("w" + std::to_string(index));
+  WorkerStats& stats = *worker_stats_[index];
+  while (auto item = queue_.pop()) {
+    ServiceResponse response = process(*item, index, stats);
+    item->promise.set_value(std::move(response));
+  }
+  set_log_tag("");
+}
+
+ServiceResponse NegotiationService::process(Item& item, std::size_t worker_index,
+                                            WorkerStats& stats) {
+  ScopedLogTag tag("w" + std::to_string(worker_index) + "/r" + std::to_string(item.request.id));
+  ServiceResponse response;
+  response.request_id = item.request.id;
+  response.worker = static_cast<int>(worker_index);
+  response.queue_ms = clock_.elapsed_ms() - item.accepted_ms;
+
+  if (config_.deadline_ms > 0.0 && response.queue_ms > config_.deadline_ms) {
+    // The request aged out while queued: rejecting it now is cheaper than
+    // negotiating for a client that has given up (and sheds queueing delay
+    // for everyone behind it).
+    response.status = NegotiationStatus::kFailedTryLater;
+    response.shed = ShedReason::kDeadlineExpired;
+    ++stats.shed_deadline;
+    QOSNP_LOG_DEBUG("service", "deadline expired after ", response.queue_ms, "ms in queue");
+  } else {
+    if (config_.simulated_rtt_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(config_.simulated_rtt_ms));
+    }
+    NegotiationOutcome outcome =
+        manager_->negotiate(item.request.client, item.request.document, item.request.profile);
+    response.status = outcome.status;
+    const bool take = outcome.has_commitment() &&
+                      (outcome.status == NegotiationStatus::kSucceeded ||
+                       item.request.accept_degraded);
+    if (take) {
+      auto opened = sessions_->open(item.request.client, item.request.profile,
+                                    std::move(outcome), now_s());
+      if (opened.ok()) {
+        ++stats.opened;
+        response.session = opened.value();
+        if (config_.auto_confirm) {
+          if (sessions_->confirm(response.session, now_s()).ok()) ++stats.confirmed;
+        }
+      } else {
+        QOSNP_LOG_WARN("service", "session open failed: ", opened.error());
+      }
+    }
+    // A declined degraded offer drops `outcome` here and RAII releases its
+    // commitment — nothing stays reserved for a user who walked away.
+  }
+
+  ++stats.processed;
+  ++stats.by_status[static_cast<std::size_t>(response.status)];
+  response.total_ms = clock_.elapsed_ms() - item.accepted_ms;
+  stats.latency.record(response.total_ms);
+  return response;
+}
+
+ServiceReport NegotiationService::report() const {
+  ServiceReport r;
+  r.submitted = submitted_.load(std::memory_order_relaxed);
+  r.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  r.accepted = r.submitted - r.shed_queue_full;
+  for (const auto& ws : worker_stats_) {
+    r.processed += ws->processed;
+    r.shed_deadline += ws->shed_deadline;
+    for (std::size_t i = 0; i < ws->by_status.size(); ++i) r.by_status[i] += ws->by_status[i];
+    r.sessions_opened += ws->opened;
+    r.sessions_confirmed += ws->confirmed;
+    r.latency.merge(ws->latency);
+  }
+  // Queue-edge sheds are FAILEDTRYLATER responses too.
+  r.by_status[static_cast<std::size_t>(NegotiationStatus::kFailedTryLater)] += r.shed_queue_full;
+  r.queue_high_water = queue_.high_water();
+  const double end_ms = stopped_ms_ > 0.0 ? stopped_ms_ : clock_.elapsed_ms();
+  r.wall_s = (end_ms - started_ms_) / 1e3;
+  return r;
+}
+
+}  // namespace qosnp

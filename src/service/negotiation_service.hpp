@@ -1,0 +1,173 @@
+// Concurrent negotiation service: the front-end that turns the paper's
+// one-request-at-a-time QoS manager into a traffic-serving system. Session
+// requests enter through a bounded MPMC queue and a fixed worker pool runs
+// the full procedure per request — Steps 1-5 (QoSManager, which commits
+// through ResourceCommitter against the *shared* ServerFarm and
+// TransportService) and Step 6 admission into the shared SessionManager.
+//
+// Overload policy: when the queue is full (backpressure) or a request's
+// queueing deadline expires before a worker picks it up, the request is
+// rejected with FAILEDTRYLATER — the paper's "try later" verdict, produced
+// here by load shedding as well as by transient resource refusals. Every
+// submitted request always gets a response.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/qos_manager.hpp"
+#include "service/bounded_queue.hpp"
+#include "service/histogram.hpp"
+#include "session/session.hpp"
+#include "sim/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace qosnp {
+
+/// Why the service resolved a request without running the procedure.
+enum class ShedReason { kNone, kQueueFull, kDeadlineExpired };
+
+std::string_view to_string(ShedReason reason);
+
+struct ServiceConfig {
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 64;
+  /// Per-request budget, in milliseconds, from acceptance into the queue to
+  /// the start of processing; a request still queued past it is shed with
+  /// FAILEDTRYLATER. 0 disables the deadline.
+  double deadline_ms = 0.0;
+  /// Simulated remote round-trip stall per processed request, modelling the
+  /// catalog/server/transport message exchanges the distributed prototype
+  /// paid off-CPU. Makes the service latency-bound like its real
+  /// counterpart, so worker-pool speedups are measurable on any core count.
+  /// 0 = no stall.
+  double simulated_rtt_ms = 0.0;
+  /// Auto-confirm committed sessions (the Step 6 accept) as the worker's
+  /// last act; off = the caller drives confirm()/reject() itself.
+  bool auto_confirm = true;
+};
+
+struct ServiceRequest {
+  std::uint64_t id = 0;
+  ClientMachine client;
+  DocumentId document;
+  UserProfile profile;
+  /// The user's Step 6 stance on a degraded offer (FAILEDWITHOFFER),
+  /// pre-drawn by the load generator's per-request RNG: false = the
+  /// commitment is released and only the verdict is returned.
+  bool accept_degraded = true;
+};
+
+struct ServiceResponse {
+  std::uint64_t request_id = 0;
+  NegotiationStatus status = NegotiationStatus::kFailedTryLater;
+  ShedReason shed = ShedReason::kNone;
+  SessionId session = 0;  ///< 0 when no session was opened
+  double queue_ms = 0.0;  ///< accept -> worker pickup
+  double total_ms = 0.0;  ///< accept -> response
+  int worker = -1;        ///< -1: resolved at the queue edge (shed)
+};
+
+/// Aggregated service-level metrics. `by_status` covers every resolved
+/// request, sheds included (they count as FAILEDTRYLATER).
+struct ServiceReport {
+  std::size_t submitted = 0;
+  std::size_t accepted = 0;   ///< made it into the queue
+  std::size_t processed = 0;  ///< resolved by a worker (deadline sheds included)
+  std::size_t shed_queue_full = 0;
+  std::size_t shed_deadline = 0;
+  std::array<std::size_t, 5> by_status{};  ///< indexed by NegotiationStatus
+  std::size_t sessions_opened = 0;
+  std::size_t sessions_confirmed = 0;
+  std::size_t queue_high_water = 0;
+  double wall_s = 0.0;  ///< start() -> stop() (or report time while running)
+  LatencyHistogram latency;
+
+  std::size_t count(NegotiationStatus status) const {
+    return by_status[static_cast<std::size_t>(status)];
+  }
+  double shed_rate() const {
+    return submitted == 0 ? 0.0
+                          : static_cast<double>(shed_queue_full + shed_deadline) /
+                                static_cast<double>(submitted);
+  }
+  double throughput_rps() const {
+    return wall_s <= 0.0 ? 0.0 : static_cast<double>(processed) / wall_s;
+  }
+
+  /// Export onto the simulation metrics surface the benches report.
+  SimMetrics to_sim_metrics() const;
+  std::string summary() const;
+};
+
+class NegotiationService {
+ public:
+  NegotiationService(QoSManager& manager, SessionManager& sessions, ServiceConfig config = {});
+  ~NegotiationService();
+
+  NegotiationService(const NegotiationService&) = delete;
+  NegotiationService& operator=(const NegotiationService&) = delete;
+
+  void start();
+  /// Close the queue, let the workers drain the backlog, join them. Every
+  /// request accepted before stop() still gets a real response.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Hand a request to the service. The future always resolves: a full (or
+  /// closed) queue resolves it immediately with FAILEDTRYLATER/kQueueFull.
+  std::future<ServiceResponse> submit(ServiceRequest request);
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  /// Service clock: seconds since construction (the time base sessions are
+  /// opened/confirmed against).
+  double now_s() const { return clock_.elapsed_seconds(); }
+
+  /// Merged metrics snapshot. Call after stop() for exact figures — worker
+  /// counters are collected without synchronisation while running.
+  ServiceReport report() const;
+
+  SessionManager& sessions() { return *sessions_; }
+
+ private:
+  struct Item {
+    ServiceRequest request;
+    std::promise<ServiceResponse> promise;
+    double accepted_ms = 0.0;
+  };
+
+  /// Per-worker counters; workers write only their own slot, report() merges.
+  struct WorkerStats {
+    std::size_t processed = 0;
+    std::size_t shed_deadline = 0;
+    std::array<std::size_t, 5> by_status{};
+    std::size_t opened = 0;
+    std::size_t confirmed = 0;
+    LatencyHistogram latency;
+  };
+
+  void worker_loop(std::size_t index);
+  ServiceResponse process(Item& item, std::size_t worker_index, WorkerStats& stats);
+
+  QoSManager* manager_;
+  SessionManager* sessions_;
+  ServiceConfig config_;
+  Stopwatch clock_;
+  BoundedQueue<Item> queue_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
+  std::atomic<std::size_t> submitted_{0};
+  std::atomic<std::size_t> shed_queue_full_{0};
+  std::atomic<bool> running_{false};
+  double started_ms_ = 0.0;  ///< written by start()/stop() only
+  double stopped_ms_ = 0.0;
+};
+
+}  // namespace qosnp

@@ -1,6 +1,7 @@
 #include "util/log.hpp"
 
 #include <iostream>
+#include <utility>
 
 namespace qosnp {
 
@@ -10,6 +11,7 @@ Logger& Logger::instance() {
 }
 
 namespace {
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace: return "TRACE";
@@ -21,11 +23,44 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+std::string& tls_tag() {
+  thread_local std::string tag;
+  return tag;
+}
+
 }  // namespace
 
+void set_log_tag(std::string tag) { tls_tag() = std::move(tag); }
+
+const std::string& log_tag() { return tls_tag(); }
+
+ScopedLogTag::ScopedLogTag(std::string tag) : previous_(std::move(tls_tag())) {
+  tls_tag() = std::move(tag);
+}
+
+ScopedLogTag::~ScopedLogTag() { tls_tag() = std::move(previous_); }
+
 void Logger::write(LogLevel level, const std::string& component, const std::string& message) {
+  // Compose the whole line first so the locked section is one insertion:
+  // concurrent workers can never interleave mid-line.
+  std::string line;
+  const std::string& tag = log_tag();
+  line.reserve(component.size() + message.size() + tag.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  if (!tag.empty()) {
+    line += '(';
+    line += tag;
+    line += ") ";
+  }
+  line += component;
+  line += ": ";
+  line += message;
+  line += '\n';
   std::lock_guard lk(mu_);
-  std::clog << '[' << level_name(level) << "] " << component << ": " << message << '\n';
+  std::clog << line;
 }
 
 }  // namespace qosnp

@@ -1,8 +1,12 @@
 // Minimal leveled logger. Negotiation and adaptation emit trace events the
 // examples surface to the user (the role the 1996 prototype's information
-// window played); benches run with logging off.
+// window played); benches run with logging off. Thread-safe: the level is
+// atomic, every line is composed off-lock and emitted in a single write, and
+// a thread-local tag (set by service workers to "w<worker>/r<request>")
+// keeps interleaved worker output attributable.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -15,16 +19,34 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel level) const { return level >= this->level(); }
 
   void write(LogLevel level, const std::string& component, const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
   std::mutex mu_;
+};
+
+/// Thread-local tag stamped onto every line this thread logs (empty = no
+/// tag). Service workers use "w<worker>/r<request>".
+void set_log_tag(std::string tag);
+const std::string& log_tag();
+
+/// RAII tag: sets the calling thread's tag, restores the previous one.
+class ScopedLogTag {
+ public:
+  explicit ScopedLogTag(std::string tag);
+  ~ScopedLogTag();
+
+  ScopedLogTag(const ScopedLogTag&) = delete;
+  ScopedLogTag& operator=(const ScopedLogTag&) = delete;
+
+ private:
+  std::string previous_;
 };
 
 namespace detail {

@@ -1,0 +1,250 @@
+// NegotiationService behaviour: concurrent requests through the bounded
+// queue and worker pool run the full Step 1-5 pipeline against the shared
+// farm/transport, overload is shed with FAILEDTRYLATER (queue full or
+// deadline expired), every submitted request gets exactly one response, and
+// nothing stays reserved once the opened sessions are completed.
+#include "service/negotiation_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "test_service.hpp"
+
+namespace qosnp {
+namespace {
+
+using testing::ServiceSystem;
+using testing::TestSystem;
+
+ServiceRequest make_request(const ServiceSystem& sys, std::uint64_t id,
+                            const UserProfile& profile) {
+  ServiceRequest req;
+  req.id = id;
+  req.client = sys.clients[id % sys.clients.size()];
+  req.document = "article";
+  req.profile = profile;
+  return req;
+}
+
+TEST(NegotiationService, ConcurrentRequestsAllServedOnRichFarm) {
+  ServiceSystem sys;
+  ServiceConfig config;
+  config.workers = 4;
+  config.queue_capacity = 128;
+  NegotiationService service(*sys.manager, *sys.sessions, config);
+  service.start();
+
+  const UserProfile profile = TestSystem::tolerant_profile();
+  std::vector<std::future<ServiceResponse>> futures;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    futures.push_back(service.submit(make_request(sys, i, profile)));
+  }
+  std::vector<SessionId> opened;
+  for (auto& f : futures) {
+    const ServiceResponse resp = f.get();
+    EXPECT_EQ(resp.status, NegotiationStatus::kSucceeded);
+    EXPECT_EQ(resp.shed, ShedReason::kNone);
+    ASSERT_NE(resp.session, 0u);
+    EXPECT_GE(resp.worker, 0);
+    EXPECT_LE(resp.queue_ms, resp.total_ms);
+    opened.push_back(resp.session);
+    // Auto-confirmed: the session is playing.
+    const auto view = sys.sessions->snapshot(resp.session);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->state, SessionState::kPlaying);
+  }
+  service.stop();
+
+  const ServiceReport report = service.report();
+  EXPECT_EQ(report.submitted, 64u);
+  EXPECT_EQ(report.processed, 64u);
+  EXPECT_EQ(report.shed_queue_full, 0u);
+  EXPECT_EQ(report.sessions_opened, 64u);
+  EXPECT_EQ(report.sessions_confirmed, 64u);
+  EXPECT_EQ(report.count(NegotiationStatus::kSucceeded), 64u);
+  EXPECT_EQ(report.latency.count(), 64u);
+
+  // admits - releases = live sessions, then drain to zero.
+  EXPECT_EQ(sys.sessions->active_count(), opened.size());
+  for (SessionId id : opened) sys.sessions->complete(id);
+  EXPECT_TRUE(sys.drained());
+}
+
+TEST(NegotiationService, FullQueueShedsWithFailedTryLater) {
+  ServiceSystem sys;
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 2;
+  config.simulated_rtt_ms = 5.0;  // keep the single worker busy
+  NegotiationService service(*sys.manager, *sys.sessions, config);
+  service.start();
+
+  const UserProfile profile = TestSystem::tolerant_profile();
+  std::vector<std::future<ServiceResponse>> futures;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    futures.push_back(service.submit(make_request(sys, i, profile)));
+  }
+  std::size_t shed = 0;
+  std::size_t served = 0;
+  for (auto& f : futures) {
+    const ServiceResponse resp = f.get();
+    if (resp.shed == ShedReason::kQueueFull) {
+      ++shed;
+      EXPECT_EQ(resp.status, NegotiationStatus::kFailedTryLater);
+      EXPECT_EQ(resp.session, 0u);
+      EXPECT_EQ(resp.worker, -1);
+    } else {
+      ++served;
+      if (resp.session != 0) sys.sessions->complete(resp.session);
+    }
+  }
+  service.stop();
+
+  // A 32-deep burst against capacity 2 + one busy worker must shed.
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(shed + served, 32u);
+  const ServiceReport report = service.report();
+  EXPECT_EQ(report.shed_queue_full, shed);
+  EXPECT_EQ(report.processed, served);
+  EXPECT_LE(report.queue_high_water, config.queue_capacity);
+  EXPECT_EQ(report.count(NegotiationStatus::kFailedTryLater), shed);
+  EXPECT_TRUE(sys.drained());
+}
+
+TEST(NegotiationService, QueueDeadlineShedsAgedRequests) {
+  ServiceSystem sys;
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 64;
+  config.deadline_ms = 1.0;
+  config.simulated_rtt_ms = 10.0;  // each served request stalls the queue past the deadline
+  NegotiationService service(*sys.manager, *sys.sessions, config);
+  service.start();
+
+  const UserProfile profile = TestSystem::tolerant_profile();
+  std::vector<std::future<ServiceResponse>> futures;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    futures.push_back(service.submit(make_request(sys, i, profile)));
+  }
+  std::size_t expired = 0;
+  for (auto& f : futures) {
+    const ServiceResponse resp = f.get();
+    if (resp.shed == ShedReason::kDeadlineExpired) {
+      ++expired;
+      EXPECT_EQ(resp.status, NegotiationStatus::kFailedTryLater);
+      EXPECT_EQ(resp.session, 0u);
+      EXPECT_GT(resp.queue_ms, config.deadline_ms);
+    } else if (resp.session != 0) {
+      sys.sessions->complete(resp.session);
+    }
+  }
+  service.stop();
+  EXPECT_GT(expired, 0u);
+  EXPECT_EQ(service.report().shed_deadline, expired);
+  EXPECT_TRUE(sys.drained());
+}
+
+TEST(NegotiationService, DeclinedDegradedOfferReleasesItsCommitment) {
+  ServiceSystem sys;
+  ServiceConfig config;
+  config.workers = 2;
+  NegotiationService service(*sys.manager, *sys.sessions, config);
+  service.start();
+
+  // A one-cent budget makes every offer unacceptable on cost, so the
+  // procedure ends FAILEDWITHOFFER with a real commitment behind the offer.
+  UserProfile stingy = TestSystem::tolerant_profile();
+  stingy.mm.cost.max_cost = Money::cents(1);
+
+  ServiceRequest declined = make_request(sys, 1, stingy);
+  declined.accept_degraded = false;
+  const ServiceResponse declined_resp = service.submit(std::move(declined)).get();
+  EXPECT_EQ(declined_resp.status, NegotiationStatus::kFailedWithOffer);
+  EXPECT_EQ(declined_resp.session, 0u);
+  // Step 6 decline: the worker released the commitment immediately.
+  EXPECT_TRUE(sys.drained());
+
+  ServiceRequest accepted = make_request(sys, 2, stingy);
+  accepted.accept_degraded = true;
+  const ServiceResponse accepted_resp = service.submit(std::move(accepted)).get();
+  EXPECT_EQ(accepted_resp.status, NegotiationStatus::kFailedWithOffer);
+  ASSERT_NE(accepted_resp.session, 0u);
+  EXPECT_EQ(sys.sessions->active_count(), 1u);
+
+  service.stop();
+  sys.sessions->complete(accepted_resp.session);
+  EXPECT_TRUE(sys.drained());
+}
+
+TEST(NegotiationService, StopDrainsTheBacklogBeforeJoining) {
+  ServiceSystem sys;
+  ServiceConfig config;
+  config.workers = 2;
+  config.queue_capacity = 64;
+  config.simulated_rtt_ms = 2.0;
+  NegotiationService service(*sys.manager, *sys.sessions, config);
+  service.start();
+
+  const UserProfile profile = TestSystem::tolerant_profile();
+  std::vector<std::future<ServiceResponse>> futures;
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    futures.push_back(service.submit(make_request(sys, i, profile)));
+  }
+  service.stop();  // must resolve every accepted request, not abandon it
+
+  std::size_t answered = 0;
+  for (auto& f : futures) {
+    const ServiceResponse resp = f.get();  // would throw on a broken promise
+    ++answered;
+    if (resp.session != 0) sys.sessions->complete(resp.session);
+  }
+  EXPECT_EQ(answered, 24u);
+  EXPECT_TRUE(sys.drained());
+
+  // Submissions after stop() are shed, not lost.
+  const ServiceResponse late = service.submit(make_request(sys, 99, profile)).get();
+  EXPECT_EQ(late.status, NegotiationStatus::kFailedTryLater);
+  EXPECT_EQ(late.shed, ShedReason::kQueueFull);
+}
+
+TEST(NegotiationService, ReportAccountsForEverySubmission) {
+  ServiceSystem sys;
+  ServiceConfig config;
+  config.workers = 3;
+  config.queue_capacity = 4;
+  config.simulated_rtt_ms = 1.0;
+  NegotiationService service(*sys.manager, *sys.sessions, config);
+  service.start();
+
+  const UserProfile profile = TestSystem::tolerant_profile();
+  std::vector<std::future<ServiceResponse>> futures;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    futures.push_back(service.submit(make_request(sys, i, profile)));
+  }
+  for (auto& f : futures) {
+    const ServiceResponse resp = f.get();
+    if (resp.session != 0) sys.sessions->complete(resp.session);
+  }
+  service.stop();
+
+  const ServiceReport report = service.report();
+  EXPECT_EQ(report.submitted, 40u);
+  EXPECT_EQ(report.processed + report.shed_queue_full, 40u);
+  std::size_t by_status_total = 0;
+  for (std::size_t n : report.by_status) by_status_total += n;
+  EXPECT_EQ(by_status_total, 40u);
+
+  const SimMetrics metrics = report.to_sim_metrics();
+  EXPECT_EQ(metrics.arrivals, 40u);
+  EXPECT_EQ(metrics.service_requests, 40u);
+  EXPECT_EQ(metrics.shed_queue_full, report.shed_queue_full);
+  EXPECT_LE(metrics.latency_p50_ms, metrics.latency_p95_ms);
+  EXPECT_LE(metrics.latency_p95_ms, metrics.latency_p99_ms);
+  EXPECT_GE(metrics.shed_rate(), 0.0);
+  EXPECT_TRUE(sys.drained());
+}
+
+}  // namespace
+}  // namespace qosnp

@@ -1,0 +1,82 @@
+// Shared harness for the concurrent-service tests and bench: a farm of two
+// media servers behind a dumbbell network with `num_clients` client nodes,
+// the news-article document, and the full QoSManager -> SessionManager ->
+// NegotiationService stack wired over the *shared* transport and farm.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/load_gen.hpp"
+#include "service/negotiation_service.hpp"
+#include "test_system.hpp"
+
+namespace qosnp::testing {
+
+struct ServiceSystem {
+  Catalog catalog;
+  std::unique_ptr<TransportService> transport;
+  ServerFarm farm;
+  std::unique_ptr<QoSManager> manager;
+  std::unique_ptr<SessionManager> sessions;
+  std::vector<ClientMachine> clients;
+
+  explicit ServiceSystem(int num_clients = 16, std::int64_t access_bps = 1'000'000'000,
+                         std::int64_t backbone_bps = 10'000'000'000,
+                         std::int64_t server_bps = 10'000'000'000, int server_sessions = 100'000) {
+    transport = std::make_unique<TransportService>(
+        Topology::dumbbell(num_clients, 2, access_bps, backbone_bps));
+    for (int i = 0; i < 2; ++i) {
+      MediaServerConfig config;
+      config.id = i == 0 ? "server-a" : "server-b";
+      config.node = "server-node-" + std::to_string(i);
+      config.disk_bandwidth_bps = server_bps;
+      config.max_sessions = server_sessions;
+      farm.add(std::move(config));
+    }
+    catalog.add(TestSystem::news_article());
+    manager = std::make_unique<QoSManager>(catalog, farm, *transport);
+    sessions = std::make_unique<SessionManager>(*manager);
+    clients.reserve(static_cast<std::size_t>(num_clients));
+    for (int i = 0; i < num_clients; ++i) {
+      ClientMachine c;
+      c.name = "client-" + std::to_string(i);
+      c.node = c.name;
+      c.screen = ScreenSpec{1920, 1080, ColorDepth::kSuperColor};
+      c.decoders = {CodingFormat::kMPEG1,     CodingFormat::kMPEG2,
+                    CodingFormat::kMJPEG,     CodingFormat::kPCM,
+                    CodingFormat::kADPCM,     CodingFormat::kMPEGAudio,
+                    CodingFormat::kPlainText, CodingFormat::kJPEG,
+                    CodingFormat::kGIF};
+      c.max_audio = AudioQuality::kCD;
+      clients.push_back(std::move(c));
+    }
+  }
+
+  /// Reserved bandwidth summed over the farm (0 iff fully drained).
+  std::int64_t farm_reserved_bps() const {
+    std::int64_t total = 0;
+    for (const ServerId& id : farm.list()) {
+      total += farm.find(id)->usage().reserved_bps;
+    }
+    return total;
+  }
+
+  /// Occupied session slots summed over the farm.
+  int farm_sessions() const {
+    int total = 0;
+    for (const ServerId& id : farm.list()) total += farm.find(id)->usage().sessions;
+    return total;
+  }
+
+  /// The drain invariant of every service test: no live session may remain,
+  /// and every reservation on every server and link must be back to zero.
+  bool drained() const {
+    return sessions->active_count() == 0 && farm_reserved_bps() == 0 && farm_sessions() == 0 &&
+           transport->active_flows() == 0 && transport->total_reserved_bps() == 0 &&
+           transport->accounting_consistent();
+  }
+};
+
+}  // namespace qosnp::testing

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace qosnp {
@@ -49,6 +51,71 @@ TEST(ThreadPool, WaitIdleDrains) {
 
 TEST(ThreadPool, SharedPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+}
+
+TEST(ThreadPool, ShutdownWhileBusyDrainsEveryQueuedTask) {
+  // Destroying the pool while tasks are still queued must not drop them:
+  // workers drain the whole backlog before exiting.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        counter.fetch_add(1);
+      });
+    }
+    // Leave scope immediately: the destructor races the backlog.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionInTaskDoesNotKillWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> succeeded{0};
+  std::vector<std::future<void>> throwing;
+  for (int i = 0; i < 50; ++i) {
+    throwing.push_back(pool.submit([] { throw std::runtime_error("boom"); }));
+    pool.submit([&succeeded] { succeeded.fetch_add(1); });
+  }
+  for (auto& f : throwing) EXPECT_THROW(f.get(), std::runtime_error);
+  pool.wait_idle();
+  EXPECT_EQ(succeeded.load(), 50);
+  // Workers survived all 50 throws: new work still runs to completion.
+  auto after = pool.submit([&succeeded] { succeeded.fetch_add(1); });
+  after.get();
+  EXPECT_EQ(succeeded.load(), 51);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersUnderContention) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 1'000;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPool, WaitIdleFromMultipleThreads) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 128; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  std::thread waiter([&pool] { pool.wait_idle(); });
+  pool.wait_idle();
+  waiter.join();
+  EXPECT_EQ(counter.load(), 128);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
