@@ -91,7 +91,7 @@ int main() {
     std::size_t via_cheap = 0;
     std::size_t via_pricey = 0;
     Money carried_per_second;
-    std::vector<NegotiationOutcome> held;  // keep commitments alive
+    std::vector<NegotiationResult> held;  // keep commitments alive
     for (int i = 0; i < 40; ++i) {
       ClientMachine client;
       client.name = "client-" + std::to_string(rng.below(8));
@@ -102,7 +102,7 @@ int main() {
                          CodingFormat::kPlainText, CodingFormat::kJPEG,
                          CodingFormat::kGIF};
       const UserProfile& profile = profiles[rng.below(profiles.size())];
-      NegotiationOutcome outcome =
+      NegotiationResult outcome =
           manager.negotiate(client, doc_ids[rng.below(doc_ids.size())], profile);
       if (!outcome.has_commitment()) {
         ++blocked;

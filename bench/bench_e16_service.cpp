@@ -13,9 +13,22 @@
 //      (shed rate > 0) and still resolves every submission exactly once.
 //   3. Conservation at drain after every run: no live sessions, all server
 //      and link budgets back to zero, recomputed transport ledger matches.
+//   4. Tracing overhead: with a RingBufferSink attached, exact-sample p95
+//      latency stays within 5% of the untraced run (best of three each).
+//   5. Refusal attribution under faults: every FAILEDTRYLATER /
+//      FAILEDWITHOFFER trace from a faulted run names the refusing
+//      component and the attempt count on its refused commit spans.
 #include "service/load_gen.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
 #include "bench_util.hpp"
+#include "fault/fault_injector.hpp"
+#include "obs/trace_sink.hpp"
 #include "test_service.hpp"
 
 namespace {
@@ -88,6 +101,233 @@ RunResult run_open_overload() {
   return result;
 }
 
+// Exact per-request latencies from a closed loop: the service's own
+// histogram buckets are ~12% wide — far too coarse for a <5% overhead
+// check — so we collect resp.total_ms per response and sort.
+std::vector<double> run_exact_latencies(NegotiationService& service, ServiceSystem& sys,
+                                        const DocumentId& document, std::size_t requests,
+                                        std::size_t concurrency) {
+  std::mutex mu;
+  std::vector<double> samples;
+  samples.reserve(requests);
+  std::atomic<std::uint64_t> next{0};
+  auto client_loop = [&] {
+    for (;;) {
+      const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= requests) return;
+      ServiceRequest req;
+      req.id = i + 1;
+      req.client = sys.clients[i % sys.clients.size()];
+      req.document = document;
+      req.profile = TestSystem::tolerant_profile();
+      NegotiationResult resp = service.submit(std::move(req)).get();
+      if (resp.session_id != 0) service.sessions().complete(resp.session_id);
+      std::lock_guard lk(mu);
+      samples.push_back(resp.total_ms);
+    }
+  };
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < concurrency; ++c) threads.emplace_back(client_loop);
+  for (auto& t : threads) t.join();
+  std::sort(samples.begin(), samples.end());
+  return samples;
+}
+
+double exact_p95(const std::vector<double>& sorted) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index =
+      static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(sorted.size()))) - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+// A wide variant ladder (36 video x 4 audio x 4 text = 576 combinations):
+// the overhead run negotiates a request whose enumeration/classification is
+// real work, so the measured latency is CPU, not scheduler noise, and the
+// tracing fraction reflects a document of realistic richness.
+MultimediaDocument heavy_article() {
+  MultimediaDocument doc;
+  doc.id = "heavy";
+  doc.title = "Wide-ladder article";
+  doc.copyright_cost = Money::cents(50);
+  const double duration = 120.0;
+
+  Monomedia video;
+  video.id = "heavy/video";
+  video.kind = MediaKind::kVideo;
+  video.duration_s = duration;
+  int v = 0;
+  for (const ColorDepth depth :
+       {ColorDepth::kColor, ColorDepth::kGray, ColorDepth::kBlackWhite}) {
+    for (const int rate : {25, 15, 10}) {
+      for (const int width : {640, 320}) {
+        for (const char* server : {"server-a", "server-b"}) {
+          video.variants.push_back(
+              make_video_variant("heavy/video/" + std::to_string(v++),
+                                 VideoQoS{depth, rate, width}, CodingFormat::kMPEG1, duration,
+                                 server));
+        }
+      }
+    }
+  }
+  doc.monomedia.push_back(std::move(video));
+
+  Monomedia audio;
+  audio.id = "heavy/audio";
+  audio.kind = MediaKind::kAudio;
+  audio.duration_s = duration;
+  int a = 0;
+  for (const AudioQuality quality : {AudioQuality::kCD, AudioQuality::kTelephone}) {
+    for (const char* server : {"server-a", "server-b"}) {
+      audio.variants.push_back(make_audio_variant(
+          "heavy/audio/" + std::to_string(a++), quality,
+          quality == AudioQuality::kCD ? CodingFormat::kPCM : CodingFormat::kADPCM, duration,
+          server));
+    }
+  }
+  doc.monomedia.push_back(std::move(audio));
+
+  Monomedia text;
+  text.id = "heavy/text";
+  text.kind = MediaKind::kText;
+  int t = 0;
+  for (const Language language : {Language::kEnglish, Language::kFrench}) {
+    for (const char* server : {"server-a", "server-b"}) {
+      text.variants.push_back(make_text_variant("heavy/text/" + std::to_string(t++), language,
+                                                CodingFormat::kPlainText, 8'000, server));
+    }
+  }
+  doc.monomedia.push_back(std::move(text));
+  return doc;
+}
+
+// Untraced-vs-traced latency; no simulated RTT, so the measured work is
+// the negotiation itself and tracing cannot hide behind sleeps. The eager
+// strategy materialises and classifies the full 576-combination product
+// per request (parallel classification off: one worker must mean one
+// thread of work) — the lazy default would stop after the first offer and
+// leave nothing but scheduler noise to measure against. Two one-worker
+// services share the manager; one closed-loop client alternates between
+// them request by request, so frequency scaling, cache state and allocator
+// drift land on both sample pools alike and the p95 ratio isolates the
+// tracing cost.
+struct TracingOverhead {
+  double p95_off = 0.0;
+  double p95_on = 0.0;
+
+  double overhead() const { return p95_off > 0.0 ? p95_on / p95_off - 1.0 : 0.0; }
+};
+
+TracingOverhead measure_tracing_overhead() {
+  ServiceSystem sys(/*num_clients=*/16);
+  sys.catalog.add(heavy_article());
+  NegotiationConfig eager;
+  eager.enumeration.strategy = EnumerationStrategy::kEager;
+  eager.parallel_threshold = 0;
+  QoSManager manager(sys.catalog, sys.farm, *sys.transport, CostModel{}, eager);
+  SessionManager sessions(manager);
+  RingBufferSink ring(256);
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 64;
+  config.simulated_rtt_ms = 0.0;
+  NegotiationService untraced(manager, sessions, config);
+  config.trace_sink = &ring;
+  NegotiationService traced(manager, sessions, config);
+  untraced.start();
+  traced.start();
+
+  auto one = [&](NegotiationService& service, std::uint64_t id) {
+    ServiceRequest req;
+    req.id = id;
+    req.client = sys.clients[id % sys.clients.size()];
+    req.document = "heavy";
+    req.profile = TestSystem::tolerant_profile();
+    NegotiationResult resp = service.submit(std::move(req)).get();
+    if (resp.session_id != 0) sessions.complete(resp.session_id);
+    return resp.total_ms;
+  };
+
+  const std::size_t kPairs = 1'200;
+  std::vector<double> off;
+  std::vector<double> on;
+  off.reserve(kPairs);
+  on.reserve(kPairs);
+  for (std::size_t i = 0; i < 100; ++i) {  // warm caches and the allocator
+    (void)one(untraced, 2 * i + 1);
+    (void)one(traced, 2 * i + 2);
+  }
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    off.push_back(one(untraced, 2 * i + 1));
+    on.push_back(one(traced, 2 * i + 2));
+  }
+  untraced.stop();
+  traced.stop();
+  std::sort(off.begin(), off.end());
+  std::sort(on.begin(), on.end());
+  return {exact_p95(off), exact_p95(on)};
+}
+
+struct FaultedTraceAudit {
+  std::size_t failed_traces = 0;      ///< FAILEDTRYLATER/FAILEDWITHOFFER, not shed
+  std::size_t refused_attempts = 0;   ///< refused commit spans over those traces
+  std::size_t unattributed = 0;       ///< refused spans missing component/attempts
+  std::size_t missing_refusal = 0;    ///< failed traces without a refused span
+  bool drained = false;
+
+  bool attributed() const {
+    return failed_traces > 0 && refused_attempts > 0 && unattributed == 0 &&
+           missing_refusal == 0;
+  }
+};
+
+// Faulted load with tracing on: both servers flap (30% transient refusals)
+// and share a hard outage window, so the Step-5 walk is refused often and
+// sometimes completely. Every failure trace must carry the attribution.
+FaultedTraceAudit run_faulted_attribution() {
+  ServiceSystem sys(/*num_clients=*/16);
+  FaultPlan plan;
+  plan.server_defaults.transient_failure_p = 0.30;
+  plan.server_defaults.outage_after_events = 60;
+  plan.server_defaults.outage_length_events = 120;
+  FaultyServerFarm faulty_farm(sys.farm, plan);
+  QoSManager manager(sys.catalog, faulty_farm, *sys.transport);
+  SessionManager sessions(manager);
+
+  RingBufferSink ring(512);
+  ServiceConfig config;
+  config.workers = 4;
+  config.queue_capacity = 64;
+  config.simulated_rtt_ms = 1.0;
+  config.trace_sink = &ring;
+  NegotiationService service(manager, sessions, config);
+  service.start();
+  (void)run_exact_latencies(service, sys, "article", /*requests=*/160, /*concurrency=*/8);
+  service.stop();
+
+  FaultedTraceAudit audit;
+  for (const auto& trace : ring.snapshot()) {
+    const bool failed =
+        trace->shed() == "none" &&
+        (trace->verdict() == "FAILEDTRYLATER" || trace->verdict() == "FAILEDWITHOFFER");
+    if (!failed) continue;
+    ++audit.failed_traces;
+    std::size_t refused_here = 0;
+    for (const Span& span : trace->spans()) {
+      if (span.stage != Stage::kCommitAttempt || span.attr("result") != "refused") continue;
+      ++refused_here;
+      if (span.attr("component").empty() || span.attr("attempts").empty()) {
+        ++audit.unattributed;
+      }
+    }
+    audit.refused_attempts += refused_here;
+    if (refused_here == 0) ++audit.missing_refusal;
+  }
+  audit.drained = sessions.active_count() == 0 && sys.farm_reserved_bps() == 0 &&
+                  sys.transport->active_flows() == 0;
+  return audit;
+}
+
 std::vector<std::string> service_row(const std::string& label, const RunResult& r) {
   const ServiceReport& s = r.load.service;
   return {label,
@@ -138,5 +378,30 @@ int main() {
                "by breaking commitments. Shed rate " << pct(overload.load.service.shed_rate())
             << ", every submission resolved, drained clean   [" << check(sheds) << "]\n";
 
-  return all_clean && scales && sheds ? 0 : 1;
+  print_section("Tracing overhead (exact-sample p95, no simulated RTT, interleaved bursts)");
+  const TracingOverhead traced = measure_tracing_overhead();
+  const double overhead = traced.overhead();
+  const bool cheap = overhead < 0.05;
+  Table tracing({"tracing", "p95 ms"});
+  tracing.row({"off", fmt(traced.p95_off, 3)})
+      .row({"ring sink", fmt(traced.p95_on, 3)})
+      .print();
+  std::cout << "\nClaim: per-request tracing into a ring sink costs < 5% on p95 latency.\n"
+               "Measured overhead: " << fmt(overhead * 100.0, 1) << "%   [" << check(cheap)
+            << "]\n";
+
+  print_section("Refusal attribution under faults (flapping servers + outage window)");
+  const FaultedTraceAudit audit = run_faulted_attribution();
+  Table attribution({"failed traces", "refused attempts", "unattributed", "no-refusal", "drain"});
+  attribution
+      .row({std::to_string(audit.failed_traces), std::to_string(audit.refused_attempts),
+            std::to_string(audit.unattributed), std::to_string(audit.missing_refusal),
+            check(audit.drained)})
+      .print();
+  const bool attributed = audit.attributed() && audit.drained;
+  std::cout << "\nClaim: every FAILEDTRYLATER/FAILEDWITHOFFER trace names the refusing\n"
+               "component and attempt count on its refused commit spans   ["
+            << check(attributed) << "]\n";
+
+  return all_clean && scales && sheds && cheap && attributed ? 0 : 1;
 }

@@ -155,8 +155,8 @@ void BM_NegotiateEndToEnd(benchmark::State& state) {
   const ClientMachine client = capable_client();
   const UserProfile profile = video_profile();
   for (auto _ : state) {
-    NegotiationOutcome outcome = manager.negotiate(client, "synthetic", profile);
-    benchmark::DoNotOptimize(outcome.status);
+    NegotiationResult outcome = manager.negotiate(client, "synthetic", profile);
+    benchmark::DoNotOptimize(outcome.verdict);
     // Release so the next iteration starts from a clean slate.
     outcome.commitment.release();
   }

@@ -58,10 +58,10 @@ int main() {
   const UserProfile profile = standard_profile_mix()[0];  // demanding
 
   std::cout << "Negotiating every article; transit = regional (cheap) or premium:\n\n";
-  std::vector<NegotiationOutcome> held;
+  std::vector<NegotiationResult> held;
   for (const DocumentId& id : catalog.list()) {
-    NegotiationOutcome outcome = manager.negotiate(client, id, profile);
-    std::cout << id << ": " << to_string(outcome.status);
+    NegotiationResult outcome = manager.negotiate(client, id, profile);
+    std::cout << id << ": " << to_string(outcome.verdict);
     if (outcome.has_commitment()) {
       std::cout << " via {";
       bool first = true;

@@ -22,8 +22,8 @@ void banner(const std::string& text) {
   std::cout << "\n== " << text << " ==\n";
 }
 
-void show_outcome(const NegotiationOutcome& outcome) {
-  std::cout << "   status: " << to_string(outcome.status) << '\n';
+void show_outcome(const NegotiationResult& outcome) {
+  std::cout << "   status: " << to_string(outcome.verdict) << '\n';
   if (outcome.user_offer) std::cout << "   offer:  " << outcome.user_offer->describe() << '\n';
   for (const auto& p : outcome.problems) std::cout << "   note:   " << p << '\n';
 }
@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
 
   banner("Scenario 1: a typical viewer on the workstation");
   UserProfile typical = standard_profile_mix()[1];
-  NegotiationOutcome outcome = manager.negotiate(workstation, ids.front(), typical);
+  NegotiationResult outcome = manager.negotiate(workstation, ids.front(), typical);
   show_outcome(outcome);
   if (!outcome.has_commitment()) return 1;
   std::cout << "   " << '\n'
@@ -125,16 +125,16 @@ int main(int argc, char** argv) {
 
   banner("Scenario 3: the limited lobby terminal");
   UserProfile demanding = standard_profile_mix()[0];
-  NegotiationOutcome local = manager.negotiate(terminal, ids.front(), demanding);
+  NegotiationResult local = manager.negotiate(terminal, ids.front(), demanding);
   show_outcome(local);
   std::cout << "   (the profile manager would now show the local offer and let the user\n"
                "    lower the worst-acceptable values and renegotiate)\n";
 
   banner("Scenario 4: renegotiation with a modest profile");
   UserProfile modest = standard_profile_mix()[2];
-  NegotiationOutcome retry = manager.negotiate(terminal, ids.front(), modest);
+  NegotiationResult retry = manager.negotiate(terminal, ids.front(), modest);
   show_outcome(retry);
-  if (retry.status == NegotiationStatus::kFailedWithoutOffer && modest.mm.audio) {
+  if (retry.verdict == NegotiationStatus::kFailedWithoutOffer && modest.mm.audio) {
     std::cout << "   renegotiating without the audio track...\n";
     modest.mm.audio.reset();
     retry = manager.negotiate(terminal, ids.front(), modest);

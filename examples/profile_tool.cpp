@@ -54,8 +54,8 @@ int cmd_try(const UserProfile& profile) {
   QoSManager manager(catalog, farm, transport);
 
   for (const DocumentId& id : catalog.list()) {
-    NegotiationOutcome outcome = manager.negotiate(client, id, profile);
-    std::cout << id << ": " << to_string(outcome.status);
+    NegotiationResult outcome = manager.negotiate(client, id, profile);
+    std::cout << id << ": " << to_string(outcome.verdict);
     if (outcome.user_offer) std::cout << "\n    " << outcome.user_offer->describe();
     std::cout << '\n';
     outcome.commitment.release();

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Gate on the deprecated NegotiationOutcome / ServiceResponse aliases: they
+# exist for exactly one PR so downstreams can migrate, and nothing in this
+# repo may keep using them. The only permitted occurrences are the alias
+# definitions themselves (and this script). Run from anywhere; registered
+# with ctest as check_no_deprecated.
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+
+check() {
+    name="$1"
+    # All compiled code; the two headers holding the alias definitions (and
+    # the comment cross-referencing them) are the only exemption, and docs
+    # may mention the aliases to describe the migration.
+    hits="$(grep -rn "$name" \
+        "$repo/src" "$repo/tests" "$repo/bench" "$repo/examples" 2>/dev/null \
+        | grep -v "src/core/negotiation_result.hpp" \
+        | grep -v "src/service/negotiation_service.hpp" || true)"
+    if [ -n "$hits" ]; then
+        echo "deprecated alias '$name' is still referenced outside its definition:" >&2
+        echo "$hits" >&2
+        status=1
+    fi
+}
+
+check "NegotiationOutcome"
+check "ServiceResponse"
+
+if [ "$status" -eq 0 ]; then
+    echo "ok: deprecated aliases appear only at their definition sites"
+fi
+exit "$status"

@@ -6,26 +6,26 @@
 
 namespace qosnp {
 
-NegotiationOutcome EnumeratingNegotiator::negotiate(const ClientMachine& client,
+NegotiationResult EnumeratingNegotiator::negotiate(const ClientMachine& client,
                                                     const DocumentId& document_id,
                                                     const UserProfile& profile) {
-  NegotiationOutcome outcome;
+  NegotiationResult outcome;
   auto document = catalog_->find(document_id);
   if (!document) {
-    outcome.status = NegotiationStatus::kFailedWithoutOffer;
+    outcome.verdict = NegotiationStatus::kFailedWithoutOffer;
     outcome.problems.push_back("document '" + document_id + "' not found in the catalog");
     return outcome;
   }
   const LocalCheck local = local_negotiation(client, profile.mm);
   if (!local.ok) {
-    outcome.status = NegotiationStatus::kFailedWithLocalOffer;
+    outcome.verdict = NegotiationStatus::kFailedWithLocalOffer;
     outcome.problems = local.problems;
     outcome.user_offer = local_offer_from(local.local_offer);
     return outcome;
   }
   auto feasible = compatible_variants(document, client, profile.mm);
   if (!feasible.ok()) {
-    outcome.status = NegotiationStatus::kFailedWithoutOffer;
+    outcome.verdict = NegotiationStatus::kFailedWithoutOffer;
     outcome.problems.push_back(feasible.error());
     return outcome;
   }
@@ -46,12 +46,12 @@ NegotiationOutcome EnumeratingNegotiator::negotiate(const ClientMachine& client,
     outcome.commit_stats = committer.stats();
     const SystemOffer& offer = outcome.offers.offers[i];
     outcome.user_offer = derive_user_offer(offer);
-    outcome.status = satisfies_user(offer, profile.mm) ? NegotiationStatus::kSucceeded
+    outcome.verdict = satisfies_user(offer, profile.mm) ? NegotiationStatus::kSucceeded
                                                        : NegotiationStatus::kFailedWithOffer;
     return outcome;
   }
   outcome.commit_stats = committer.stats();
-  outcome.status = saw_transient ? NegotiationStatus::kFailedTryLater
+  outcome.verdict = saw_transient ? NegotiationStatus::kFailedTryLater
                                  : NegotiationStatus::kFailedWithoutOffer;
   return outcome;
 }
@@ -86,26 +86,26 @@ void QoSOnlyNegotiator::order_offers(std::vector<SystemOffer>& offers,
             [&](const SystemOffer& a, const SystemOffer& b) { return qos_score(a) > qos_score(b); });
 }
 
-NegotiationOutcome BasicNegotiator::negotiate(const ClientMachine& client,
+NegotiationResult BasicNegotiator::negotiate(const ClientMachine& client,
                                               const DocumentId& document_id,
                                               const UserProfile& profile) {
-  NegotiationOutcome outcome;
+  NegotiationResult outcome;
   auto document = catalog_->find(document_id);
   if (!document) {
-    outcome.status = NegotiationStatus::kFailedWithoutOffer;
+    outcome.verdict = NegotiationStatus::kFailedWithoutOffer;
     outcome.problems.push_back("document '" + document_id + "' not found in the catalog");
     return outcome;
   }
   const LocalCheck local = local_negotiation(client, profile.mm);
   if (!local.ok) {
-    outcome.status = NegotiationStatus::kFailedWithLocalOffer;
+    outcome.verdict = NegotiationStatus::kFailedWithLocalOffer;
     outcome.problems = local.problems;
     outcome.user_offer = local_offer_from(local.local_offer);
     return outcome;
   }
   auto feasible = compatible_variants(document, client, profile.mm);
   if (!feasible.ok()) {
-    outcome.status = NegotiationStatus::kFailedWithoutOffer;
+    outcome.verdict = NegotiationStatus::kFailedWithoutOffer;
     outcome.problems.push_back(feasible.error());
     return outcome;
   }
@@ -139,7 +139,7 @@ NegotiationOutcome BasicNegotiator::negotiate(const ClientMachine& client,
       }
     }
     if (chosen == nullptr) {
-      outcome.status = NegotiationStatus::kFailedWithoutOffer;
+      outcome.verdict = NegotiationStatus::kFailedWithoutOffer;
       outcome.problems.push_back("no variant of '" + fs.monomedia[i]->id +
                                  "' supports the requested QoS");
       return outcome;
@@ -163,7 +163,7 @@ NegotiationOutcome BasicNegotiator::negotiate(const ClientMachine& client,
   auto committed = committer.commit(client, outcome.offers.offers[0]);
   outcome.commit_stats = committer.stats();
   if (!committed.ok()) {
-    outcome.status = committed.error().transient ? NegotiationStatus::kFailedTryLater
+    outcome.verdict = committed.error().transient ? NegotiationStatus::kFailedTryLater
                                                  : NegotiationStatus::kFailedWithoutOffer;
     outcome.problems.push_back(committed.error().message);
     return outcome;
@@ -172,7 +172,7 @@ NegotiationOutcome BasicNegotiator::negotiate(const ClientMachine& client,
   outcome.commitment = std::move(committed.value());
   const SystemOffer& final_offer = outcome.offers.offers[0];
   outcome.user_offer = derive_user_offer(final_offer);
-  outcome.status = satisfies_user(final_offer, profile.mm) ? NegotiationStatus::kSucceeded
+  outcome.verdict = satisfies_user(final_offer, profile.mm) ? NegotiationStatus::kSucceeded
                                                            : NegotiationStatus::kFailedWithOffer;
   return outcome;
 }

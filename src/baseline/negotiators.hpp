@@ -28,7 +28,7 @@ class Negotiator {
  public:
   virtual ~Negotiator() = default;
   virtual std::string_view name() const = 0;
-  virtual NegotiationOutcome negotiate(const ClientMachine& client, const DocumentId& document,
+  virtual NegotiationResult negotiate(const ClientMachine& client, const DocumentId& document,
                                        const UserProfile& profile) = 0;
 };
 
@@ -40,7 +40,7 @@ class SmartNegotiator final : public Negotiator {
       : manager_(catalog, farm, transport, std::move(cost_model), std::move(config)) {}
 
   std::string_view name() const override { return "smart"; }
-  NegotiationOutcome negotiate(const ClientMachine& client, const DocumentId& document,
+  NegotiationResult negotiate(const ClientMachine& client, const DocumentId& document,
                                const UserProfile& profile) override {
     return manager_.negotiate(client, document, profile);
   }
@@ -65,7 +65,7 @@ class EnumeratingNegotiator : public Negotiator {
       : catalog_(&catalog), farm_(&farm), transport_(&transport),
         cost_model_(std::move(cost_model)), enumeration_(enumeration), retry_(retry) {}
 
-  NegotiationOutcome negotiate(const ClientMachine& client, const DocumentId& document,
+  NegotiationResult negotiate(const ClientMachine& client, const DocumentId& document,
                                const UserProfile& profile) override;
 
  protected:
@@ -107,7 +107,7 @@ class BasicNegotiator final : public Negotiator {
         cost_model_(std::move(cost_model)), retry_(retry) {}
 
   std::string_view name() const override { return "basic"; }
-  NegotiationOutcome negotiate(const ClientMachine& client, const DocumentId& document,
+  NegotiationResult negotiate(const ClientMachine& client, const DocumentId& document,
                                const UserProfile& profile) override;
 
  private:

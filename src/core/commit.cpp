@@ -35,8 +35,8 @@ Result<Commitment, Refusal> ResourceCommitter::commit_once(const ClientMachine& 
   for (const OfferComponent& c : offer.components) {
     StreamServer* server = farm_->find_server(c.variant->server);
     if (server == nullptr) {
-      return permanent_refusal("variant '" + c.variant->id + "' lives on unknown server '" +
-                               c.variant->server + "'");
+      return permanent_refusal(c.variant->server,
+                               "variant '" + c.variant->id + "' lives on unknown server");
     }
     auto stream = server->admit(c.requirements);
     if (!stream.ok()) {
@@ -59,7 +59,8 @@ Result<Commitment, Refusal> ResourceCommitter::commit_once(const ClientMachine& 
 }
 
 Result<Commitment, Refusal> ResourceCommitter::commit(const ClientMachine& client,
-                                                      const SystemOffer& offer) {
+                                                      const SystemOffer& offer,
+                                                      TraceContext trace) {
   CommitStats stats;
   Refusal last;
   const int max_attempts = std::max(1, retry_.max_attempts);
@@ -71,12 +72,16 @@ Result<Commitment, Refusal> ResourceCommitter::commit(const ClientMachine& clien
       Commitment commitment = std::move(result.value());
       commitment.stats_ = stats;
       stats_.merge(stats);
+      trace.annotate("result", "committed");
+      trace.annotate("attempts", static_cast<std::uint64_t>(stats.attempts));
+      trace.annotate("backoff_ms", stats.backoff_ms);
       QOSNP_LOG_DEBUG("commit", "committed offer with ", commitment.stream_count(),
                       " streams / ", commitment.flow_count(), " flows for client ", client.name,
                       " after ", stats.attempts, " attempt(s)");
       return commitment;
     }
     last = result.error();
+    trace.annotate("refusal", last.describe() + (last.transient ? " [transient]" : " [permanent]"));
     if (last.transient) {
       ++stats.transient_failures;
     } else {
@@ -99,6 +104,12 @@ Result<Commitment, Refusal> ResourceCommitter::commit(const ClientMachine& clien
     }
   }
   stats_.merge(stats);
+  // Attribution for the trace: who refused last, and how hard we tried —
+  // the figures a FAILEDTRYLATER/FAILEDWITHOFFER post-mortem needs.
+  trace.annotate("result", "refused");
+  trace.annotate("component", last.component);
+  trace.annotate("attempts", static_cast<std::uint64_t>(stats.attempts));
+  trace.annotate("backoff_ms", stats.backoff_ms);
   Result<Commitment, Refusal> failed = Err(std::move(last));
   // Callers read the effort off the committer-level stats() accumulator.
   return failed;

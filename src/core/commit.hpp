@@ -21,6 +21,7 @@
 #include "client/client_machine.hpp"
 #include "core/offer.hpp"
 #include "net/transport.hpp"
+#include "obs/trace.hpp"
 #include "server/media_server.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
@@ -66,7 +67,7 @@ struct RetryPolicy {
 };
 
 /// Effort counters of the commitment walk, surfaced on Commitment,
-/// CommitAttempt and NegotiationOutcome so tests and sim/metrics can assert
+/// CommitAttempt and NegotiationResult so tests and sim/metrics can assert
 /// retry effectiveness and that failed commits leak nothing.
 struct CommitStats {
   int attempts = 0;             ///< offer-level commit tries, first included
@@ -127,8 +128,10 @@ class ResourceCommitter {
   /// retrying transient refusals under the retry policy. The returned
   /// refusal keeps the transient flag of the last failure, so callers know
   /// whether FAILEDTRYLATER (retries exhausted) or a permanent error is the
-  /// honest verdict.
-  Result<Commitment, Refusal> commit(const ClientMachine& client, const SystemOffer& offer);
+  /// honest verdict. An active `trace` context gets the attempt count,
+  /// backoff history and per-try refusals annotated onto its parent span.
+  Result<Commitment, Refusal> commit(const ClientMachine& client, const SystemOffer& offer,
+                                     TraceContext trace = {});
 
   /// Cumulative counters over every commit() this committer ran.
   const CommitStats& stats() const { return stats_; }

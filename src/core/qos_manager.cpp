@@ -24,12 +24,15 @@ UserOffer local_offer_from(const MMProfile& clipped) {
 
 CommitAttempt QoSManager::commit_first(const ClientMachine& client, OfferList& offers,
                                        const MMProfile& profile,
-                                       std::span<const std::size_t> exclude) {
+                                       std::span<const std::size_t> exclude,
+                                       TraceContext trace) {
   CommitAttempt attempt;
+  ScopedSpan walk_span(trace, Stage::kCommitWalk);
   ResourceCommitter committer(*farm_, *transport_, config_.retry);
   auto excluded = [&](std::size_t i) {
     return std::find(exclude.begin(), exclude.end(), i) != exclude.end();
   };
+  std::size_t offers_examined = 0;
   // Pass 1: offers satisfying the requested QoS/cost; pass 2: the rest
   // ("If there are not enough resources to support any of the acceptable
   // system offers, the same procedure is applied on the feasible (not
@@ -48,62 +51,86 @@ CommitAttempt QoSManager::commit_first(const ClientMachine& client, OfferList& o
       if (excluded(i)) continue;
       const bool satisfying = satisfies_user(offer, profile);
       if ((pass == 0) != satisfying) continue;
-      auto committed = committer.commit(client, offer);
+      ++offers_examined;
+      ScopedSpan try_span(walk_span.context(), Stage::kCommitAttempt);
+      try_span.annotate("offer", static_cast<std::uint64_t>(i));
+      try_span.annotate("pass", static_cast<std::uint64_t>(pass));
+      auto committed = committer.commit(client, offer, try_span.context());
       if (committed.ok()) {
         attempt.index = i;
         attempt.commitment = std::move(committed.value());
         attempt.stats = committer.stats();
+        try_span.end();
+        walk_span.annotate("offers_examined", static_cast<std::uint64_t>(offers_examined));
+        walk_span.annotate("committed_offer", static_cast<std::uint64_t>(i));
         return attempt;
       }
       if (committed.error().transient) attempt.saw_transient = true;
-      attempt.errors.push_back("offer " + std::to_string(i) + ": " + committed.error().message);
+      attempt.errors.push_back("offer " + std::to_string(i) + ": " +
+                               committed.error().describe());
     }
   }
   attempt.stats = committer.stats();
+  walk_span.annotate("offers_examined", static_cast<std::uint64_t>(offers_examined));
   return attempt;
 }
 
-NegotiationOutcome QoSManager::negotiate(const ClientMachine& client,
-                                         const DocumentId& document_id,
-                                         const UserProfile& profile) {
+NegotiationResult QoSManager::negotiate(const ClientMachine& client,
+                                        const DocumentId& document_id,
+                                        const UserProfile& profile, TraceContext trace) {
   auto document = catalog_->find(document_id);
   if (!document) {
-    NegotiationOutcome outcome;
-    outcome.status = NegotiationStatus::kFailedWithoutOffer;
-    outcome.problems.push_back("document '" + document_id + "' not found in the catalog");
-    return outcome;
+    NegotiationResult result;
+    // The catalog miss is a Step-2 failure (the document cannot be checked
+    // against anything); give the trace its compatibility span so every
+    // resolved request still shows where it stopped.
+    ScopedSpan span(trace, Stage::kCompatibility);
+    span.annotate("error", "document not found");
+    result.verdict = NegotiationStatus::kFailedWithoutOffer;
+    result.problems.push_back("document '" + document_id + "' not found in the catalog");
+    return result;
   }
-  return negotiate_document(client, std::move(document), profile);
+  return negotiate_document(client, std::move(document), profile, trace);
 }
 
-NegotiationOutcome QoSManager::negotiate_document(
+NegotiationResult QoSManager::negotiate_document(
     const ClientMachine& client, std::shared_ptr<const MultimediaDocument> document,
-    const UserProfile& profile) {
-  NegotiationOutcome outcome;
+    const UserProfile& profile, TraceContext trace) {
+  NegotiationResult result;
   if (!document) {
-    outcome.status = NegotiationStatus::kFailedWithoutOffer;
-    outcome.problems.push_back("no document");
-    return outcome;
+    ScopedSpan span(trace, Stage::kCompatibility);
+    span.annotate("error", "no document");
+    result.verdict = NegotiationStatus::kFailedWithoutOffer;
+    result.problems.push_back("no document");
+    return result;
   }
 
   // Step 1: static local negotiation.
-  const LocalCheck local = local_negotiation(client, profile.mm);
-  if (!local.ok) {
-    outcome.status = NegotiationStatus::kFailedWithLocalOffer;
-    outcome.problems = local.problems;
-    outcome.user_offer = local_offer_from(local.local_offer);
-    return outcome;
+  {
+    ScopedSpan span(trace, Stage::kLocalCheck);
+    const LocalCheck local = local_negotiation(client, profile.mm);
+    if (!local.ok) {
+      span.annotate("ok", "false");
+      result.verdict = NegotiationStatus::kFailedWithLocalOffer;
+      result.problems = local.problems;
+      result.user_offer = local_offer_from(local.local_offer);
+      return result;
+    }
   }
 
   // Step 2: static compatibility checking.
+  ScopedSpan compat_span(trace, Stage::kCompatibility);
   auto feasible = compatible_variants(document, client, profile.mm);
   if (!feasible.ok()) {
-    outcome.status = NegotiationStatus::kFailedWithoutOffer;
-    outcome.problems.push_back(feasible.error());
-    return outcome;
+    compat_span.annotate("error", feasible.error());
+    result.verdict = NegotiationStatus::kFailedWithoutOffer;
+    result.problems.push_back(feasible.error());
+    return result;
   }
+  compat_span.end();
 
   // Build the offer space; Steps 3+4: classify.
+  ScopedSpan enum_span(trace, Stage::kEnumeration);
   if (config_.enumeration.prune_dominated) {
     const std::size_t dropped = prune_dominated_variants(feasible.value());
     if (dropped > 0) {
@@ -116,56 +143,59 @@ NegotiationOutcome QoSManager::negotiate_document(
     auto stream = std::make_shared<OfferStream>(std::move(feasible.value()), profile.mm,
                                                 profile.importance, cost_model_, config_.policy,
                                                 config_.enumeration.max_offers);
-    outcome.offers.document = document;
-    outcome.offers.total_combinations = stream->total_combinations();
-    outcome.offers.truncated = stream->emit_limit() < stream->total_combinations();
-    outcome.offers.stream = std::move(stream);
+    result.offers.document = document;
+    result.offers.total_combinations = stream->total_combinations();
+    result.offers.truncated = stream->emit_limit() < stream->total_combinations();
+    result.offers.stream = std::move(stream);
   } else {
-    outcome.offers =
+    result.offers =
         enumerate_offers(feasible.value(), profile.mm, cost_model_, config_.enumeration);
   }
-  if (outcome.offers.truncated) {
-    outcome.problems.push_back(
-        "offer space truncated to " + std::to_string(outcome.offers.known_count()) + " of " +
-        std::to_string(outcome.offers.total_combinations) + " combinations");
+  if (result.offers.truncated) {
+    result.problems.push_back(
+        "offer space truncated to " + std::to_string(result.offers.known_count()) + " of " +
+        std::to_string(result.offers.total_combinations) + " combinations");
   }
   if (config_.enumeration.strategy == EnumerationStrategy::kBestFirst) {
     // The stream yields offers already classified in final order.
-    outcome.offers.sns_ordered = !config_.policy.oif_only;
+    result.offers.sns_ordered = !config_.policy.oif_only;
   } else {
     ThreadPool* pool = nullptr;
     if (config_.parallel_threshold > 0 &&
-        outcome.offers.offers.size() >= config_.parallel_threshold) {
+        result.offers.offers.size() >= config_.parallel_threshold) {
       pool = &ThreadPool::shared();
     }
-    classify_offers(outcome.offers.offers, profile.mm, profile.importance, config_.policy, pool);
-    outcome.offers.sns_ordered = !config_.policy.oif_only;
+    classify_offers(result.offers.offers, profile.mm, profile.importance, config_.policy, pool);
+    result.offers.sns_ordered = !config_.policy.oif_only;
   }
+  enum_span.annotate("total_combinations",
+                     static_cast<std::uint64_t>(result.offers.total_combinations));
+  enum_span.annotate("known_offers", static_cast<std::uint64_t>(result.offers.known_count()));
+  enum_span.end();
 
   // Step 5: resource commitment.
-  CommitAttempt attempt = commit_first(client, outcome.offers, profile.mm);
-  outcome.commit_stats = attempt.stats;
+  CommitAttempt attempt = commit_first(client, result.offers, profile.mm, {}, trace);
+  result.commit_stats = attempt.stats;
   if (!attempt.ok()) {
     // FAILEDTRYLATER promises that trying later could succeed; keep that
     // promise only when some refusal was transient (capacity, outage).
     // Purely permanent refusals (unknown server, no route) cannot heal.
-    outcome.status = attempt.saw_transient ? NegotiationStatus::kFailedTryLater
+    result.verdict = attempt.saw_transient ? NegotiationStatus::kFailedTryLater
                                            : NegotiationStatus::kFailedWithoutOffer;
-    outcome.problems.insert(outcome.problems.end(), attempt.errors.begin(),
-                            attempt.errors.end());
-    return outcome;
+    result.problems.insert(result.problems.end(), attempt.errors.begin(), attempt.errors.end());
+    return result;
   }
-  outcome.committed_index = attempt.index;
-  outcome.commitment = std::move(attempt.commitment);
-  const SystemOffer& committed = outcome.offers.offers[attempt.index];
-  outcome.user_offer = derive_user_offer(committed);
-  outcome.status = satisfies_user(committed, profile.mm)
+  result.committed_index = attempt.index;
+  result.commitment = std::move(attempt.commitment);
+  const SystemOffer& committed = result.offers.offers[attempt.index];
+  result.user_offer = derive_user_offer(committed);
+  result.verdict = satisfies_user(committed, profile.mm)
                        ? NegotiationStatus::kSucceeded
                        : NegotiationStatus::kFailedWithOffer;
   QOSNP_LOG_INFO("negotiate", "document '", document->id, "' for ", client.name, ": ",
-                 to_string(outcome.status), " (offer ", attempt.index, " of ",
-                 outcome.offers.known_count(), ")");
-  return outcome;
+                 to_string(result.verdict), " (offer ", attempt.index, " of ",
+                 result.offers.known_count(), ")");
+  return result;
 }
 
 }  // namespace qosnp

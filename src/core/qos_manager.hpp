@@ -22,9 +22,11 @@
 #include "core/classify.hpp"
 #include "core/commit.hpp"
 #include "core/enumerate.hpp"
+#include "core/negotiation_result.hpp"
 #include "core/offer.hpp"
 #include "cost/cost_model.hpp"
 #include "document/catalog.hpp"
+#include "obs/trace.hpp"
 #include "profile/profiles.hpp"
 
 namespace qosnp {
@@ -42,23 +44,6 @@ struct NegotiationConfig {
   /// How resource commitment retries transiently-refused offers before the
   /// walk falls through to the next (worse) offer. Default: no retries.
   RetryPolicy retry;
-};
-
-/// Everything a negotiation produces. The negotiation results of the paper
-/// are (status, user offer); the ordered offer list and the commitment are
-/// carried along for Step 6 and for the adaptation procedure.
-struct NegotiationOutcome {
-  NegotiationStatus status = NegotiationStatus::kFailedTryLater;
-  std::optional<UserOffer> user_offer;
-  std::vector<std::string> problems;
-
-  OfferList offers;  ///< classified best-to-worst; kept for adaptation
-  std::size_t committed_index = SIZE_MAX;
-  Commitment commitment;
-  /// Commitment effort over the whole Step-5 walk (all offers tried).
-  CommitStats commit_stats;
-
-  bool has_commitment() const { return committed_index != SIZE_MAX; }
 };
 
 /// Result of walking the ordered offers and committing the first that fits.
@@ -79,16 +64,17 @@ class QoSManager {
   QoSManager(Catalog& catalog, ServerProvider& farm, TransportProvider& transport,
              CostModel cost_model = {}, NegotiationConfig config = {});
 
-  /// Run the negotiation procedure for one user request.
-  NegotiationOutcome negotiate(const ClientMachine& client, const DocumentId& document,
-                               const UserProfile& profile);
+  /// Run the negotiation procedure for one user request. An active `trace`
+  /// context records one span per executed stage (Steps 1-5) on its trace.
+  NegotiationResult negotiate(const ClientMachine& client, const DocumentId& document,
+                              const UserProfile& profile, TraceContext trace = {});
 
   /// Steps 1-5 against an already-resolved document. Used by renegotiation
   /// (the session holds the document reference even if the catalog entry
   /// has been replaced meanwhile).
-  NegotiationOutcome negotiate_document(const ClientMachine& client,
-                                        std::shared_ptr<const MultimediaDocument> document,
-                                        const UserProfile& profile);
+  NegotiationResult negotiate_document(const ClientMachine& client,
+                                       std::shared_ptr<const MultimediaDocument> document,
+                                       const UserProfile& profile, TraceContext trace = {});
 
   /// Step 5 in isolation: walk `offers` best-to-worst, first the offers
   /// satisfying the user requirements, then the rest, skipping indices in
@@ -99,7 +85,8 @@ class QoSManager {
   /// reaches them.
   CommitAttempt commit_first(const ClientMachine& client, OfferList& offers,
                              const MMProfile& profile,
-                             std::span<const std::size_t> exclude = {});
+                             std::span<const std::size_t> exclude = {},
+                             TraceContext trace = {});
 
   const CostModel& cost_model() const { return cost_model_; }
   const NegotiationConfig& config() const { return config_; }

@@ -35,14 +35,14 @@ const char* next_step(NegotiationStatus status) {
 
 }  // namespace
 
-std::string render_summary(const NegotiationOutcome& outcome) {
+std::string render_summary(const NegotiationResult& outcome) {
   std::ostringstream os;
-  os << to_string(outcome.status);
+  os << to_string(outcome.verdict);
   if (outcome.user_offer) os << ": " << outcome.user_offer->describe();
   return os.str();
 }
 
-std::string render_classification_table(const NegotiationOutcome& outcome,
+std::string render_classification_table(const NegotiationResult& outcome,
                                         const MMProfile& profile, std::size_t max_rows) {
   std::ostringstream os;
   const auto& offers = outcome.offers.offers;
@@ -75,10 +75,10 @@ std::string render_classification_table(const NegotiationOutcome& outcome,
   return os.str();
 }
 
-std::string render_information_window(const NegotiationOutcome& outcome) {
+std::string render_information_window(const NegotiationResult& outcome) {
   std::ostringstream os;
   os << "+---------------- negotiation result ----------------\n";
-  os << "| status: " << to_string(outcome.status) << '\n';
+  os << "| status: " << to_string(outcome.verdict) << '\n';
   if (outcome.user_offer) {
     const UserOffer& offer = *outcome.user_offer;
     if (offer.video) os << "| video:  " << offer.video->to_string() << '\n';
@@ -95,7 +95,7 @@ std::string render_information_window(const NegotiationOutcome& outcome) {
     os << "| note: " << problem << '\n';
   }
   os << "|\n";
-  std::istringstream steps(next_step(outcome.status));
+  std::istringstream steps(next_step(outcome.verdict));
   std::string line;
   while (std::getline(steps, line)) os << "| " << line << '\n';
   os << "+-----------------------------------------------------";

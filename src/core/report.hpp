@@ -11,16 +11,16 @@
 namespace qosnp {
 
 /// Multi-line report of one negotiation outcome.
-std::string render_information_window(const NegotiationOutcome& outcome);
+std::string render_information_window(const NegotiationResult& outcome);
 
 /// One-line summary ("SUCCEEDED: video (color, 25 frames/s, ...) at $4.55").
-std::string render_summary(const NegotiationOutcome& outcome);
+std::string render_summary(const NegotiationResult& outcome);
 
 /// Explain the classification: the top `max_rows` system offers with their
 /// SNS, OIF, cost, whether they satisfy the user requirements, and which
 /// one was committed — the "why did I get this offer?" view the paper's
 /// automatic classification otherwise hides from the user.
-std::string render_classification_table(const NegotiationOutcome& outcome,
+std::string render_classification_table(const NegotiationResult& outcome,
                                         const MMProfile& profile, std::size_t max_rows = 10);
 
 }  // namespace qosnp

@@ -110,15 +110,15 @@ Result<std::vector<std::size_t>> MultiDomainTransport::route_locked(const NodeId
 Result<FlowId, Refusal> MultiDomainTransport::reserve(const NodeId& src, const NodeId& dst,
                                                       const StreamRequirements& req) {
   const std::int64_t rate = rate_of(req);
-  if (rate <= 0) return permanent_refusal("non-positive bit rate");
+  if (rate <= 0) return permanent_refusal("multi-domain", "non-positive bit rate");
   std::lock_guard lk(mu_);
   auto route = route_locked(src, dst, rate);
   if (!route.ok()) {
     // Unreachable even at rate 0 means the domain graph itself has no path
     // (permanent); otherwise the route exists but lacks capacity right now.
     const bool structurally_routable = route_locked(src, dst, -1).ok();
-    if (structurally_routable) return transient_refusal(route.error());
-    return permanent_refusal(route.error());
+    if (structurally_routable) return transient_refusal("multi-domain", route.error());
+    return permanent_refusal("multi-domain", route.error());
   }
   for (std::size_t d : route.value()) {
     domains_[d].reserved += rate;

@@ -46,7 +46,7 @@ class FaultyServerFarm::FaultyServer final : public StreamServer {
           draw_fault(spec_, rng_, events_++, stats_, "server '" + inner_->id() + "'");
       if (!fault.empty()) {
         QOSNP_LOG_DEBUG("fault", fault);
-        return transient_refusal(fault);
+        return transient_refusal("fault:" + inner_->id(), fault);
       }
     }
     auto result = inner_->admit(req);
@@ -131,7 +131,7 @@ Result<FlowId, Refusal> FaultyTransportProvider::reserve(const NodeId& src, cons
                                          route.stats, "route " + src + "->" + dst);
     if (!fault.empty()) {
       QOSNP_LOG_DEBUG("fault", fault);
-      return transient_refusal(fault);
+      return transient_refusal("fault:" + src + "->" + dst, fault);
     }
   }
   auto result = inner_->reserve(src, dst, req);

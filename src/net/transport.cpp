@@ -21,7 +21,7 @@ Result<FlowId, Refusal> TransportService::reserve(const NodeId& src, const NodeI
                                                   const StreamRequirements& req) {
   const std::int64_t rate = req.guarantee == GuaranteeClass::kGuaranteed ? req.max_bit_rate_bps
                                                                          : req.avg_bit_rate_bps;
-  if (rate <= 0) return permanent_refusal("non-positive bit rate");
+  if (rate <= 0) return permanent_refusal("transport", "non-positive bit rate");
 
   // Route with admission-aware retries: when a link on the preferred path
   // lacks capacity, exclude it and re-route — in a multi-path topology the
@@ -34,8 +34,8 @@ Result<FlowId, Refusal> TransportService::reserve(const NodeId& src, const NodeI
     if (!path.ok()) {
       // No route at all is permanent; a route that exists but is full
       // (last_error from a previous attempt) is a transient shortage.
-      if (last_error.empty()) return permanent_refusal(path.error());
-      return transient_refusal(last_error);
+      if (last_error.empty()) return permanent_refusal("transport", path.error());
+      return transient_refusal("transport", last_error);
     }
     const std::size_t* bottleneck = nullptr;
     for (const std::size_t& link : path.value()) {
@@ -67,7 +67,7 @@ Result<FlowId, Refusal> TransportService::reserve(const NodeId& src, const NodeI
                     " bps over ", flows_[id].path.size(), " links");
     return id;
   }
-  return transient_refusal(last_error);
+  return transient_refusal("transport", last_error);
 }
 
 bool TransportService::release(FlowId id) {

@@ -1,0 +1,83 @@
+#include "obs/trace_sink.hpp"
+
+#include <algorithm>
+
+namespace qosnp {
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void RingBufferSink::record(std::shared_ptr<const NegotiationTrace> trace) {
+  if (trace == nullptr) return;
+  std::lock_guard lk(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+  } else {
+    ring_[next_] = std::move(trace);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::size_t RingBufferSink::size() const {
+  std::lock_guard lk(mu_);
+  return ring_.size();
+}
+
+std::uint64_t RingBufferSink::total_recorded() const {
+  std::lock_guard lk(mu_);
+  return recorded_;
+}
+
+std::vector<std::shared_ptr<const NegotiationTrace>> RingBufferSink::snapshot() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::shared_ptr<const NegotiationTrace>> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // The ring is full: next_ is the oldest slot.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<const NegotiationTrace> RingBufferSink::find(std::uint64_t request_id) const {
+  std::lock_guard lk(mu_);
+  // Newest first: walk backwards from the most recently written slot.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const std::size_t slot = (next_ + capacity_ - 1 - i) % capacity_;
+    if (slot < ring_.size() && ring_[slot] != nullptr &&
+        ring_[slot]->request_id() == request_id) {
+      return ring_[slot];
+    }
+  }
+  return nullptr;
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path) : out_(path, std::ios::out | std::ios::trunc) {}
+
+std::uint64_t JsonlFileSink::written() const {
+  std::lock_guard lk(mu_);
+  return written_;
+}
+
+void JsonlFileSink::record(std::shared_ptr<const NegotiationTrace> trace) {
+  if (trace == nullptr) return;
+  // Serialise outside the lock; only the write itself is exclusive.
+  const std::string line = trace->to_json();
+  std::lock_guard lk(mu_);
+  if (!out_.is_open()) return;
+  out_ << line << '\n';
+  ++written_;
+}
+
+void JsonlFileSink::flush() {
+  std::lock_guard lk(mu_);
+  if (out_.is_open()) out_.flush();
+}
+
+}  // namespace qosnp

@@ -1,0 +1,78 @@
+// Where finished traces go. The service hands every resolved request's
+// trace to one sink; sinks must be thread-safe (workers record
+// concurrently). Two implementations:
+//
+//   RingBufferSink : keeps the last N traces in memory, queryable from
+//                    tests, benches and debugging sessions. Bounded by
+//                    construction — it can run in production forever.
+//   JsonlFileSink  : appends one JSON line per trace to a file, for
+//                    offline analysis of a whole run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace qosnp {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// Take ownership of one finished trace. Called by service workers after
+  /// the response is finalised; must be safe to call concurrently.
+  virtual void record(std::shared_ptr<const NegotiationTrace> trace) = 0;
+};
+
+/// Last-N ring of traces. record() is a mutex-guarded pointer rotation —
+/// cheap enough for the hot path (the trace itself was built lock-free).
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity);
+
+  void record(std::shared_ptr<const NegotiationTrace> trace) override;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Traces currently held (never exceeds capacity()).
+  std::size_t size() const;
+  /// Traces ever recorded (size() plus evictions).
+  std::uint64_t total_recorded() const;
+
+  /// The held traces, oldest first.
+  std::vector<std::shared_ptr<const NegotiationTrace>> snapshot() const;
+  /// Most recent trace for a request id, or nullptr.
+  std::shared_ptr<const NegotiationTrace> find(std::uint64_t request_id) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const NegotiationTrace>> ring_;
+  std::size_t next_ = 0;       ///< slot the next record lands in
+  std::uint64_t recorded_ = 0;
+};
+
+/// One JSON line per trace, appended to `path`. Failures to open are
+/// reported through ok(), not exceptions — tracing must never take the
+/// service down.
+class JsonlFileSink final : public TraceSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+
+  bool ok() const { return out_.is_open(); }
+  std::uint64_t written() const;
+
+  void record(std::shared_ptr<const NegotiationTrace> trace) override;
+  void flush();
+
+ private:
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace qosnp

@@ -15,14 +15,14 @@ MediaServer::MediaServer(MediaServerConfig config)
 Result<StreamId, Refusal> MediaServer::admit(const StreamRequirements& req) {
   const std::int64_t rate = req.guarantee == GuaranteeClass::kGuaranteed ? req.max_bit_rate_bps
                                                                          : req.avg_bit_rate_bps;
-  if (rate <= 0) return permanent_refusal("non-positive bit rate");
+  if (rate <= 0) return permanent_refusal(config_.id, "non-positive bit rate");
   std::lock_guard lk(mu_);
-  if (failed_) return transient_refusal("server '" + config_.id + "' is down");
+  if (failed_) return transient_refusal(config_.id, "server is down");
   if (static_cast<int>(streams_.size()) >= config_.max_sessions) {
-    return transient_refusal("server '" + config_.id + "' has no free session slot");
+    return transient_refusal(config_.id, "no free session slot");
   }
   if (reserved_ + rate > effective_bandwidth_) {
-    return transient_refusal("server '" + config_.id + "' has insufficient disk bandwidth");
+    return transient_refusal(config_.id, "insufficient disk bandwidth");
   }
   reserved_ += rate;
   const StreamId id = next_id_++;

@@ -50,10 +50,10 @@ LoadReport run_load(NegotiationService& service, const LoadConfig& config) {
       for (;;) {
         const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= config.requests) return;
-        ServiceResponse resp = service.submit(make_request(config, i)).get();
-        if (resp.session != 0) {
+        NegotiationResult resp = service.submit(make_request(config, i)).get();
+        if (resp.session_id != 0) {
           sleep_ms(config.hold_ms);
-          service.sessions().complete(resp.session);
+          service.sessions().complete(resp.session_id);
           completed_sessions.fetch_add(1, std::memory_order_relaxed);
         }
         sleep_ms(config.think_ms);
@@ -70,7 +70,7 @@ LoadReport run_load(NegotiationService& service, const LoadConfig& config) {
     // responses; collect afterwards. Sessions are completed at drain, so a
     // fast arrival burst genuinely accumulates held capacity and backlog.
     Rng arrivals(config.seed ^ 0xa5e1a5e1a5e1a5e1ULL);
-    std::vector<std::future<ServiceResponse>> futures;
+    std::vector<std::future<NegotiationResult>> futures;
     futures.reserve(config.requests);
     for (std::uint64_t i = 0; i < config.requests; ++i) {
       futures.push_back(service.submit(make_request(config, i)));
@@ -79,9 +79,9 @@ LoadReport run_load(NegotiationService& service, const LoadConfig& config) {
       }
     }
     for (auto& f : futures) {
-      ServiceResponse resp = f.get();
-      if (resp.session != 0) {
-        service.sessions().complete(resp.session);
+      NegotiationResult resp = f.get();
+      if (resp.session_id != 0) {
+        service.sessions().complete(resp.session_id);
         completed_sessions.fetch_add(1, std::memory_order_relaxed);
       }
     }

@@ -2,20 +2,12 @@
 
 #include <chrono>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "util/log.hpp"
 
 namespace qosnp {
-
-std::string_view to_string(ShedReason reason) {
-  switch (reason) {
-    case ShedReason::kNone: return "none";
-    case ShedReason::kQueueFull: return "queue-full";
-    case ShedReason::kDeadlineExpired: return "deadline-expired";
-  }
-  return "?";
-}
 
 SimMetrics ServiceReport::to_sim_metrics() const {
   SimMetrics m;
@@ -46,17 +38,63 @@ std::string ServiceReport::summary() const {
   return os.str();
 }
 
+ServiceConfig NegotiationService::validated(ServiceConfig config) {
+  if (config.workers == 0) {
+    throw std::invalid_argument("ServiceConfig: workers must be at least 1");
+  }
+  if (config.queue_capacity == 0) {
+    throw std::invalid_argument("ServiceConfig: queue_capacity must be at least 1");
+  }
+  if (config.deadline_ms < 0.0) {
+    throw std::invalid_argument("ServiceConfig: deadline_ms must not be negative");
+  }
+  if (config.simulated_rtt_ms < 0.0) {
+    throw std::invalid_argument("ServiceConfig: simulated_rtt_ms must not be negative");
+  }
+  return config;
+}
+
 NegotiationService::NegotiationService(QoSManager& manager, SessionManager& sessions,
                                        ServiceConfig config)
     : manager_(&manager),
       sessions_(&sessions),
-      config_(config),
-      queue_(config.queue_capacity) {
-  if (config_.workers == 0) config_.workers = 1;
-  worker_stats_.reserve(config_.workers);
-  for (std::size_t i = 0; i < config_.workers; ++i) {
-    worker_stats_.push_back(std::make_unique<WorkerStats>());
+      config_(validated(std::move(config))),
+      metrics_(config_.metrics != nullptr ? config_.metrics : &own_metrics_),
+      queue_(config_.queue_capacity) {
+  requests_total_ =
+      &metrics_->counter("qosnp_requests_total", {}, "Requests submitted to the service");
+  processed_total_ = &metrics_->counter("qosnp_processed_total", {},
+                                        "Requests resolved by a worker (deadline sheds included)");
+  for (std::size_t i = 0; i < responses_by_verdict_.size(); ++i) {
+    const auto status = static_cast<NegotiationStatus>(i);
+    responses_by_verdict_[i] =
+        &metrics_->counter("qosnp_responses_total",
+                           {{"verdict", std::string(to_string(status))}},
+                           "Resolved responses by final verdict (sheds count as FAILEDTRYLATER)");
   }
+  shed_queue_full_total_ =
+      &metrics_->counter("qosnp_shed_total", {{"reason", std::string(to_string(ShedReason::kQueueFull))}},
+                         "Requests shed without running the procedure, by reason");
+  shed_deadline_total_ =
+      &metrics_->counter("qosnp_shed_total",
+                         {{"reason", std::string(to_string(ShedReason::kDeadlineExpired))}},
+                         "Requests shed without running the procedure, by reason");
+  sessions_opened_total_ =
+      &metrics_->counter("qosnp_sessions_opened_total", {}, "Sessions admitted (Step 6 open)");
+  sessions_confirmed_total_ = &metrics_->counter("qosnp_sessions_confirmed_total", {},
+                                                 "Sessions confirmed within the choice period");
+  commit_attempts_total_ = &metrics_->counter(
+      "qosnp_commit_attempts_total", {}, "Offer-level commit attempts over all Step-5 walks");
+  commit_retries_total_ = &metrics_->counter("qosnp_commit_retries_total", {},
+                                             "Commit attempts beyond the first, per offer");
+  traces_recorded_total_ =
+      &metrics_->counter("qosnp_traces_recorded_total", {}, "Traces handed to the sink");
+  queue_high_water_ =
+      &metrics_->gauge("qosnp_queue_high_water", {}, "Deepest queue backlog observed");
+  latency_ms_ = &metrics_->histogram("qosnp_request_latency_ms", {},
+                                     "Accept-to-response latency in milliseconds");
+  queue_wait_ms_ = &metrics_->histogram("qosnp_queue_wait_ms", {},
+                                        "Accept-to-pickup queue wait in milliseconds");
 }
 
 NegotiationService::~NegotiationService() { stop(); }
@@ -79,26 +117,47 @@ void NegotiationService::stop() {
   for (auto& w : workers_) w.join();
   workers_.clear();
   stopped_ms_ = clock_.elapsed_ms();
-  QOSNP_LOG_INFO("service", "stopped; ", submitted_.load(), " requests submitted");
+  QOSNP_LOG_INFO("service", "stopped; ", requests_total_->value(), " requests submitted");
 }
 
-std::future<ServiceResponse> NegotiationService::submit(ServiceRequest request) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+void NegotiationService::finish_trace(Item& item, NegotiationResult& result) {
+  if (!item.trace) return;
+  item.trace->end_span(item.queue_span);
+  item.trace->set_verdict(std::string(to_string(result.verdict)));
+  item.trace->set_shed(std::string(to_string(result.shed)));
+  std::shared_ptr<const NegotiationTrace> done = std::move(item.trace);
+  config_.trace_sink->record(done);
+  traces_recorded_total_->inc();
+  result.trace = std::move(done);
+}
+
+void NegotiationService::count_response(const NegotiationResult& result) {
+  responses_by_verdict_[static_cast<std::size_t>(result.verdict)]->inc();
+}
+
+std::future<NegotiationResult> NegotiationService::submit(ServiceRequest request) {
+  requests_total_->inc();
   Item item;
   item.accepted_ms = clock_.elapsed_ms();
   item.request = std::move(request);
-  std::future<ServiceResponse> future = item.promise.get_future();
+  if (config_.trace_sink != nullptr) {
+    item.trace = std::make_shared<NegotiationTrace>(item.request.id);
+    item.queue_span = item.trace->begin_span(Stage::kQueueWait);
+  }
+  std::future<NegotiationResult> future = item.promise.get_future();
   if (!running_.load(std::memory_order_acquire) || !queue_.try_push(std::move(item))) {
     // Load shedding at the queue edge: the bounded queue is full (or the
     // service is not accepting). FAILEDTRYLATER is the honest verdict —
     // the overload is transient by definition.
-    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
-    ServiceResponse shed;
+    shed_queue_full_total_->inc();
+    NegotiationResult shed;
     shed.request_id = item.request.id;
-    shed.status = NegotiationStatus::kFailedTryLater;
+    shed.verdict = NegotiationStatus::kFailedTryLater;
     shed.shed = ShedReason::kQueueFull;
     shed.total_ms = clock_.elapsed_ms() - item.accepted_ms;
+    count_response(shed);
     QOSNP_LOG_DEBUG("service", "shed request ", item.request.id, " at the queue edge");
+    finish_trace(item, shed);
     item.promise.set_value(std::move(shed));
   }
   return future;
@@ -106,81 +165,97 @@ std::future<ServiceResponse> NegotiationService::submit(ServiceRequest request) 
 
 void NegotiationService::worker_loop(std::size_t index) {
   set_log_tag("w" + std::to_string(index));
-  WorkerStats& stats = *worker_stats_[index];
   while (auto item = queue_.pop()) {
-    ServiceResponse response = process(*item, index, stats);
+    NegotiationResult response = process(*item, index);
     item->promise.set_value(std::move(response));
   }
   set_log_tag("");
 }
 
-ServiceResponse NegotiationService::process(Item& item, std::size_t worker_index,
-                                            WorkerStats& stats) {
+NegotiationResult NegotiationService::process(Item& item, std::size_t worker_index) {
   ScopedLogTag tag("w" + std::to_string(worker_index) + "/r" + std::to_string(item.request.id));
-  ServiceResponse response;
-  response.request_id = item.request.id;
-  response.worker = static_cast<int>(worker_index);
-  response.queue_ms = clock_.elapsed_ms() - item.accepted_ms;
+  const double queue_ms = clock_.elapsed_ms() - item.accepted_ms;
+  if (item.trace) item.trace->end_span(item.queue_span);
+  queue_wait_ms_->record(queue_ms);
 
-  if (config_.deadline_ms > 0.0 && response.queue_ms > config_.deadline_ms) {
+  NegotiationResult response;
+  if (config_.deadline_ms > 0.0 && queue_ms > config_.deadline_ms) {
     // The request aged out while queued: rejecting it now is cheaper than
     // negotiating for a client that has given up (and sheds queueing delay
     // for everyone behind it).
-    response.status = NegotiationStatus::kFailedTryLater;
+    response.verdict = NegotiationStatus::kFailedTryLater;
     response.shed = ShedReason::kDeadlineExpired;
-    ++stats.shed_deadline;
-    QOSNP_LOG_DEBUG("service", "deadline expired after ", response.queue_ms, "ms in queue");
+    shed_deadline_total_->inc();
+    QOSNP_LOG_DEBUG("service", "deadline expired after ", queue_ms, "ms in queue");
   } else {
     if (config_.simulated_rtt_ms > 0.0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(config_.simulated_rtt_ms));
     }
-    NegotiationOutcome outcome =
-        manager_->negotiate(item.request.client, item.request.document, item.request.profile);
-    response.status = outcome.status;
-    const bool take = outcome.has_commitment() &&
-                      (outcome.status == NegotiationStatus::kSucceeded ||
+    const TraceContext ctx(item.trace.get());
+    response =
+        manager_->negotiate(item.request.client, item.request.document, item.request.profile, ctx);
+    commit_attempts_total_->add(static_cast<std::uint64_t>(response.commit_stats.attempts));
+    commit_retries_total_->add(static_cast<std::uint64_t>(response.commit_stats.retries));
+    const bool take = response.has_commitment() &&
+                      (response.verdict == NegotiationStatus::kSucceeded ||
                        item.request.accept_degraded);
     if (take) {
-      auto opened = sessions_->open(item.request.client, item.request.profile,
-                                    std::move(outcome), now_s());
+      ScopedSpan admission(ctx, Stage::kAdmission);
+      auto opened =
+          sessions_->open(item.request.client, item.request.profile, std::move(response), now_s());
       if (opened.ok()) {
-        ++stats.opened;
-        response.session = opened.value();
+        sessions_opened_total_->inc();
+        response.session_id = opened.value();
+        admission.annotate("session", response.session_id);
         if (config_.auto_confirm) {
-          if (sessions_->confirm(response.session, now_s()).ok()) ++stats.confirmed;
+          if (sessions_->confirm(response.session_id, now_s()).ok()) {
+            sessions_confirmed_total_->inc();
+            admission.annotate("confirmed", "true");
+          }
         }
       } else {
+        admission.annotate("error", opened.error());
         QOSNP_LOG_WARN("service", "session open failed: ", opened.error());
       }
+    } else if (response.has_commitment()) {
+      // A declined degraded offer: release the reservations right here —
+      // nothing stays reserved for a user who walked away.
+      response.commitment.release();
     }
-    // A declined degraded offer drops `outcome` here and RAII releases its
-    // commitment — nothing stays reserved for a user who walked away.
+    // The resolved future carries no offer list or commitment: they belong
+    // to the opened session (response.session_id) or were just released.
+    response.offers = OfferList{};
+    response.commitment = Commitment{};
+    response.committed_index = SIZE_MAX;
   }
 
-  ++stats.processed;
-  ++stats.by_status[static_cast<std::size_t>(response.status)];
+  response.request_id = item.request.id;
+  response.worker = static_cast<int>(worker_index);
+  response.queue_ms = queue_ms;
+  processed_total_->inc();
   response.total_ms = clock_.elapsed_ms() - item.accepted_ms;
-  stats.latency.record(response.total_ms);
+  latency_ms_->record(response.total_ms);
+  count_response(response);
+  finish_trace(item, response);
   return response;
 }
 
 ServiceReport NegotiationService::report() const {
   ServiceReport r;
-  r.submitted = submitted_.load(std::memory_order_relaxed);
-  r.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  r.submitted = requests_total_->value();
+  r.shed_queue_full = shed_queue_full_total_->value();
   r.accepted = r.submitted - r.shed_queue_full;
-  for (const auto& ws : worker_stats_) {
-    r.processed += ws->processed;
-    r.shed_deadline += ws->shed_deadline;
-    for (std::size_t i = 0; i < ws->by_status.size(); ++i) r.by_status[i] += ws->by_status[i];
-    r.sessions_opened += ws->opened;
-    r.sessions_confirmed += ws->confirmed;
-    r.latency.merge(ws->latency);
+  r.processed = processed_total_->value();
+  r.shed_deadline = shed_deadline_total_->value();
+  for (std::size_t i = 0; i < r.by_status.size(); ++i) {
+    r.by_status[i] = responses_by_verdict_[i]->value();
   }
-  // Queue-edge sheds are FAILEDTRYLATER responses too.
-  r.by_status[static_cast<std::size_t>(NegotiationStatus::kFailedTryLater)] += r.shed_queue_full;
+  r.sessions_opened = sessions_opened_total_->value();
+  r.sessions_confirmed = sessions_confirmed_total_->value();
+  r.latency = latency_ms_->merged();
   r.queue_high_water = queue_.high_water();
+  queue_high_water_->update_max(static_cast<std::int64_t>(r.queue_high_water));
   const double end_ms = stopped_ms_ > 0.0 ? stopped_ms_ : clock_.elapsed_ms();
   r.wall_s = (end_ms - started_ms_) / 1e3;
   return r;

@@ -4,12 +4,21 @@
 // the full procedure per request — Steps 1-5 (QoSManager, which commits
 // through ResourceCommitter against the *shared* ServerFarm and
 // TransportService) and Step 6 admission into the shared SessionManager.
+// Every request resolves to one NegotiationResult carrying the verdict,
+// shed reason, session id, latency figures and (when a TraceSink is
+// configured) the per-request trace.
 //
 // Overload policy: when the queue is full (backpressure) or a request's
 // queueing deadline expires before a worker picks it up, the request is
 // rejected with FAILEDTRYLATER — the paper's "try later" verdict, produced
 // here by load shedding as well as by transient resource refusals. Every
 // submitted request always gets a response.
+//
+// Observability: the service records everything into a MetricsRegistry
+// (its own by default, or an external one via ServiceConfig::metrics) —
+// per-verdict response counters, shed counters by reason, session and
+// commit-effort counters, latency histograms. report() is a snapshot of
+// that registry; metrics().expose() renders the Prometheus-style text form.
 #pragma once
 
 #include <array>
@@ -18,23 +27,20 @@
 #include <future>
 #include <memory>
 #include <string>
-#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "core/negotiation_result.hpp"
 #include "core/qos_manager.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "service/bounded_queue.hpp"
-#include "service/histogram.hpp"
 #include "session/session.hpp"
 #include "sim/metrics.hpp"
 #include "util/stopwatch.hpp"
 
 namespace qosnp {
-
-/// Why the service resolved a request without running the procedure.
-enum class ShedReason { kNone, kQueueFull, kDeadlineExpired };
-
-std::string_view to_string(ShedReason reason);
 
 struct ServiceConfig {
   std::size_t workers = 4;
@@ -52,6 +58,14 @@ struct ServiceConfig {
   /// Auto-confirm committed sessions (the Step 6 accept) as the worker's
   /// last act; off = the caller drives confirm()/reject() itself.
   bool auto_confirm = true;
+  /// Record metrics into this registry instead of the service's own
+  /// (aggregating several services, or exposing one registry for the whole
+  /// process). Not owned; must outlive the service.
+  MetricsRegistry* metrics = nullptr;
+  /// When set, every resolved request builds a NegotiationTrace (one span
+  /// per executed stage) that is recorded here and attached to the
+  /// response. Not owned; must outlive the service. nullptr = no tracing.
+  TraceSink* trace_sink = nullptr;
 };
 
 struct ServiceRequest {
@@ -65,18 +79,9 @@ struct ServiceRequest {
   bool accept_degraded = true;
 };
 
-struct ServiceResponse {
-  std::uint64_t request_id = 0;
-  NegotiationStatus status = NegotiationStatus::kFailedTryLater;
-  ShedReason shed = ShedReason::kNone;
-  SessionId session = 0;  ///< 0 when no session was opened
-  double queue_ms = 0.0;  ///< accept -> worker pickup
-  double total_ms = 0.0;  ///< accept -> response
-  int worker = -1;        ///< -1: resolved at the queue edge (shed)
-};
-
-/// Aggregated service-level metrics. `by_status` covers every resolved
-/// request, sheds included (they count as FAILEDTRYLATER).
+/// Aggregated service-level snapshot, assembled from the metrics registry.
+/// `by_status` covers every resolved request, sheds included (they count as
+/// FAILEDTRYLATER).
 struct ServiceReport {
   std::size_t submitted = 0;
   std::size_t accepted = 0;   ///< made it into the queue
@@ -109,6 +114,10 @@ struct ServiceReport {
 
 class NegotiationService {
  public:
+  /// Throws std::invalid_argument when the config is unusable (zero
+  /// workers, zero queue capacity, negative deadline or RTT) — a service
+  /// that silently "fixed" those would lie about the load it was asked to
+  /// carry.
   NegotiationService(QoSManager& manager, SessionManager& sessions, ServiceConfig config = {});
   ~NegotiationService();
 
@@ -123,51 +132,76 @@ class NegotiationService {
 
   /// Hand a request to the service. The future always resolves: a full (or
   /// closed) queue resolves it immediately with FAILEDTRYLATER/kQueueFull.
-  std::future<ServiceResponse> submit(ServiceRequest request);
+  /// The resolved result does not carry the offer list or the commitment —
+  /// those belong to the opened session (result.session_id) or were
+  /// released before resolution.
+  std::future<NegotiationResult> submit(ServiceRequest request);
 
   std::size_t queue_depth() const { return queue_.size(); }
   /// Service clock: seconds since construction (the time base sessions are
   /// opened/confirmed against).
   double now_s() const { return clock_.elapsed_seconds(); }
 
-  /// Merged metrics snapshot. Call after stop() for exact figures — worker
-  /// counters are collected without synchronisation while running.
+  /// Metrics snapshot assembled from the registry. Exact once the service
+  /// is stopped; a live snapshot may straddle in-flight requests.
   ServiceReport report() const;
+
+  /// The registry this service records into (own or external).
+  MetricsRegistry& metrics() { return *metrics_; }
+  const MetricsRegistry& metrics() const { return *metrics_; }
 
   SessionManager& sessions() { return *sessions_; }
 
  private:
   struct Item {
     ServiceRequest request;
-    std::promise<ServiceResponse> promise;
+    std::promise<NegotiationResult> promise;
     double accepted_ms = 0.0;
+    /// Present only when the service traces (ServiceConfig::trace_sink).
+    std::shared_ptr<NegotiationTrace> trace;
+    SpanId queue_span = kNoSpan;
   };
 
-  /// Per-worker counters; workers write only their own slot, report() merges.
-  struct WorkerStats {
-    std::size_t processed = 0;
-    std::size_t shed_deadline = 0;
-    std::array<std::size_t, 5> by_status{};
-    std::size_t opened = 0;
-    std::size_t confirmed = 0;
-    LatencyHistogram latency;
-  };
+  static ServiceConfig validated(ServiceConfig config);
 
   void worker_loop(std::size_t index);
-  ServiceResponse process(Item& item, std::size_t worker_index, WorkerStats& stats);
+  NegotiationResult process(Item& item, std::size_t worker_index);
+  /// Stamp the verdict on the trace, hand it to the sink, attach it to the
+  /// result. No-op when the item carries no trace.
+  void finish_trace(Item& item, NegotiationResult& result);
+  void count_response(const NegotiationResult& result);
 
   QoSManager* manager_;
   SessionManager* sessions_;
   ServiceConfig config_;
+  MetricsRegistry own_metrics_;
+  MetricsRegistry* metrics_;
   Stopwatch clock_;
   BoundedQueue<Item> queue_;
   std::vector<std::thread> workers_;
-  std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
-  std::atomic<std::size_t> submitted_{0};
-  std::atomic<std::size_t> shed_queue_full_{0};
   std::atomic<bool> running_{false};
   double started_ms_ = 0.0;  ///< written by start()/stop() only
   double stopped_ms_ = 0.0;
+
+  // Registry handles, registered once at construction (stable addresses).
+  Counter* requests_total_;
+  Counter* processed_total_;
+  std::array<Counter*, 5> responses_by_verdict_;
+  Counter* shed_queue_full_total_;
+  Counter* shed_deadline_total_;
+  Counter* sessions_opened_total_;
+  Counter* sessions_confirmed_total_;
+  Counter* commit_attempts_total_;
+  Counter* commit_retries_total_;
+  Counter* traces_recorded_total_;
+  Gauge* queue_high_water_;
+  HistogramMetric* latency_ms_;
+  HistogramMetric* queue_wait_ms_;
 };
+
+/// Deprecated pre-redesign name for the service's response type; the
+/// service now resolves the same NegotiationResult the QoSManager
+/// produces. Will be removed next PR.
+using ServiceResponse [[deprecated("use NegotiationResult")]] = NegotiationResult;
 
 }  // namespace qosnp

@@ -32,24 +32,24 @@ void SessionManager::finish_locked(Session& s, SessionState state, const std::st
 }
 
 Result<SessionId> SessionManager::open(const ClientMachine& client, const UserProfile& profile,
-                                       NegotiationOutcome&& outcome, double now_s) {
-  if (!outcome.has_commitment()) {
-    return Err(std::string("negotiation outcome carries no committed offer"));
+                                       NegotiationResult&& result, double now_s) {
+  if (!result.has_commitment()) {
+    return Err(std::string("negotiation result carries no committed offer"));
   }
   std::lock_guard lk(mu_);
   auto session = std::make_unique<Session>();
   session->id = next_id_++;
   session->client = client;
   session->profile = profile;
-  session->offers = std::move(outcome.offers);
-  session->current_offer = outcome.committed_index;
-  session->tried.push_back(outcome.committed_index);
-  session->commitment = std::move(outcome.commitment);
+  session->offers = std::move(result.offers);
+  session->current_offer = result.committed_index;
+  session->tried.push_back(result.committed_index);
+  session->commitment = std::move(result.commitment);
   session->state = SessionState::kPendingConfirmation;
   session->confirm_deadline_s = now_s + profile.mm.time.choice_period_s;
   session->duration_s = session->offers.document ? session->offers.document->duration_s() : 0.0;
   session->stats.charged = session->committed().total_cost();
-  session->stats.commit = outcome.commit_stats;
+  session->stats.commit = result.commit_stats;
   index_commitment_locked(*session);
   const SessionId id = session->id;
   sessions_[id] = std::move(session);
@@ -175,23 +175,23 @@ RenegotiationResult SessionManager::renegotiate(SessionId id, const UserProfile&
     return result;
   }
 
-  NegotiationOutcome outcome =
+  NegotiationResult renegotiated =
       manager_->negotiate_document(s.client, s.offers.document, new_profile);
-  result.status = outcome.status;
-  result.problems = outcome.problems;
-  s.stats.commit.merge(outcome.commit_stats);
-  if (!outcome.has_commitment()) {
+  result.status = renegotiated.verdict;
+  result.problems = renegotiated.problems;
+  s.stats.commit.merge(renegotiated.commit_stats);
+  if (!renegotiated.has_commitment()) {
     // Nothing could be committed: the session keeps its current
     // configuration untouched (the old commitment was never released).
-    if (outcome.user_offer) result.offer = outcome.user_offer;
+    if (renegotiated.user_offer) result.offer = renegotiated.user_offer;
     return result;
   }
 
   unindex_commitment_locked(s);
-  s.offers = std::move(outcome.offers);
-  s.current_offer = outcome.committed_index;
-  s.tried.assign(1, outcome.committed_index);
-  s.commitment = std::move(outcome.commitment);  // old reservations release here
+  s.offers = std::move(renegotiated.offers);
+  s.current_offer = renegotiated.committed_index;
+  s.tried.assign(1, renegotiated.committed_index);
+  s.commitment = std::move(renegotiated.commitment);  // old reservations release here
   s.profile = new_profile;
   index_commitment_locked(s);
   s.stats.renegotiations += 1;

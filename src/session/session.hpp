@@ -112,10 +112,12 @@ class SessionManager {
       : manager_(&manager), policy_(policy) {}
 
   /// Admit the result of a successful negotiation (SUCCEEDED, or
-  /// FAILEDWITHOFFER when the user opts into the degraded offer). The
-  /// session starts pending confirmation with deadline now + choicePeriod.
+  /// FAILEDWITHOFFER when the user opts into the degraded offer). Moves the
+  /// offers and commitment out of `result` (the scalar fields stay valid).
+  /// The session starts pending confirmation with deadline now +
+  /// choicePeriod.
   Result<SessionId> open(const ClientMachine& client, const UserProfile& profile,
-                         NegotiationOutcome&& outcome, double now_s);
+                         NegotiationResult&& result, double now_s);
 
   /// Step 6: the user accepts the offer. Fails (and releases resources)
   /// when the choice period already expired.

@@ -219,9 +219,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       const UserProfile& profile = profiles[rng.below(profiles.size())];
 
       Stopwatch watch;
-      NegotiationOutcome outcome = negotiator->negotiate(client, doc_id, profile);
+      NegotiationResult outcome = negotiator->negotiate(client, doc_id, profile);
       metrics.negotiation_ms_total += watch.elapsed_ms();
-      metrics.record(outcome.status);
+      metrics.record(outcome.verdict);
       metrics.commit_attempts += static_cast<std::size_t>(outcome.commit_stats.attempts);
       metrics.commit_retries += static_cast<std::size_t>(outcome.commit_stats.retries);
       metrics.transient_failures +=
@@ -252,7 +252,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       }
 
       const bool accept =
-          outcome.status == NegotiationStatus::kSucceeded
+          outcome.verdict == NegotiationStatus::kSucceeded
               ? rng.chance(config.confirm_probability)
               : rng.chance(config.confirm_probability * config.accept_degraded_probability);
       auto opened = sessions.open(client, profile, std::move(outcome), queue.now());

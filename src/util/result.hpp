@@ -64,21 +64,32 @@ class Result {
 /// commitment walk (paper Step 5) uses the flag to retry only what is worth
 /// retrying and to return FAILEDTRYLATER only when retries were truly
 /// exhausted.
+///
+/// `component` names who refused — a server id ("server-a"), the transport
+/// ("transport"), a multi-domain segment, or a fault decorator
+/// ("fault:server-a") — so negotiation traces can attribute every failed
+/// commit attempt end-to-end without parsing messages or side channels.
 struct Refusal {
   std::string message;
   bool transient = true;
+  std::string component;
+
+  /// "component: message" — the rendering logs and problem lists use.
+  std::string describe() const {
+    return component.empty() ? message : component + ": " + message;
+  }
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Refusal& refusal) {
-  return os << refusal.message;
+  return os << refusal.describe();
 }
 
-inline Err<Refusal> transient_refusal(std::string message) {
-  return Err(Refusal{std::move(message), /*transient=*/true});
+inline Err<Refusal> transient_refusal(std::string component, std::string message) {
+  return Err(Refusal{std::move(message), /*transient=*/true, std::move(component)});
 }
 
-inline Err<Refusal> permanent_refusal(std::string message) {
-  return Err(Refusal{std::move(message), /*transient=*/false});
+inline Err<Refusal> permanent_refusal(std::string component, std::string message) {
+  return Err(Refusal{std::move(message), /*transient=*/false, std::move(component)});
 }
 
 }  // namespace qosnp

@@ -24,9 +24,9 @@ TEST(Baselines, NamesAreDistinct) {
 TEST(BasicNegotiator, CommitsExactlyOneStaticOffer) {
   TestSystem sys;
   BasicNegotiator basic(sys.catalog, sys.farm, *sys.transport);
-  NegotiationOutcome outcome =
+  NegotiationResult outcome =
       basic.negotiate(sys.client, "article", TestSystem::tolerant_profile());
-  EXPECT_EQ(outcome.status, NegotiationStatus::kSucceeded);
+  EXPECT_EQ(outcome.verdict, NegotiationStatus::kSucceeded);
   EXPECT_EQ(outcome.offers.offers.size(), 1u);  // no alternatives, no ladder
   EXPECT_EQ(outcome.committed_index, 0u);
 }
@@ -36,10 +36,10 @@ TEST(BasicNegotiator, RejectsWhenNoVariantSatisfiesDesired) {
   BasicNegotiator basic(sys.catalog, sys.farm, *sys.transport);
   UserProfile greedy = TestSystem::tolerant_profile();
   greedy.mm.video->desired = VideoQoS{ColorDepth::kSuperColor, 60, 1920};
-  NegotiationOutcome outcome = basic.negotiate(sys.client, "article", greedy);
+  NegotiationResult outcome = basic.negotiate(sys.client, "article", greedy);
   // The smart negotiator degrades gracefully here (FAILEDWITHOFFER); the
   // static baseline simply has nothing to offer.
-  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedWithoutOffer);
+  EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedWithoutOffer);
 }
 
 TEST(BasicNegotiator, FailsTryLaterWithoutFallback) {
@@ -48,7 +48,7 @@ TEST(BasicNegotiator, FailsTryLaterWithoutFallback) {
   TestSystem sys;
   BasicNegotiator basic(sys.catalog, sys.farm, *sys.transport);
   UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationOutcome probe = basic.negotiate(sys.client, "article", profile);
+  NegotiationResult probe = basic.negotiate(sys.client, "article", profile);
   ASSERT_TRUE(probe.has_commitment());
   // Find which server the static choice used for video and choke it.
   ServerId used;
@@ -60,19 +60,19 @@ TEST(BasicNegotiator, FailsTryLaterWithoutFallback) {
   }
   probe.commitment.release();
   sys.farm.find(used)->degrade(0.9999);
-  NegotiationOutcome outcome = basic.negotiate(sys.client, "article", profile);
-  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedTryLater);
+  NegotiationResult outcome = basic.negotiate(sys.client, "article", profile);
+  EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedTryLater);
   // The smart procedure serves the same request from the other server.
   SmartNegotiator smart(sys.catalog, sys.farm, *sys.transport);
-  NegotiationOutcome smart_outcome = smart.negotiate(sys.client, "article", profile);
-  EXPECT_TRUE(smart_outcome.status == NegotiationStatus::kSucceeded ||
-              smart_outcome.status == NegotiationStatus::kFailedWithOffer);
+  NegotiationResult smart_outcome = smart.negotiate(sys.client, "article", profile);
+  EXPECT_TRUE(smart_outcome.verdict == NegotiationStatus::kSucceeded ||
+              smart_outcome.verdict == NegotiationStatus::kFailedWithOffer);
 }
 
 TEST(CostOnlyNegotiator, PicksCheapestCommittableOffer) {
   TestSystem sys;
   CostOnlyNegotiator cost(sys.catalog, sys.farm, *sys.transport, CostModel{});
-  NegotiationOutcome outcome =
+  NegotiationResult outcome =
       cost.negotiate(sys.client, "article", TestSystem::tolerant_profile());
   ASSERT_TRUE(outcome.has_commitment());
   EXPECT_EQ(outcome.committed_index, 0u);
@@ -91,10 +91,10 @@ TEST(QoSOnlyNegotiator, PicksRichestOfferIgnoringCost) {
   QoSOnlyNegotiator qos(sys.catalog, sys.farm, *sys.transport, CostModel{});
   UserProfile profile = TestSystem::tolerant_profile();
   profile.mm.cost.max_cost = Money::cents(1);  // budget the richest offer busts
-  NegotiationOutcome outcome = qos.negotiate(sys.client, "article", profile);
+  NegotiationResult outcome = qos.negotiate(sys.client, "article", profile);
   ASSERT_TRUE(outcome.has_commitment());
   // QoS-only ignores the budget -> the committed offer violates it.
-  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedWithOffer);
+  EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedWithOffer);
   EXPECT_GT(outcome.offers.offers[outcome.committed_index].total_cost(),
             profile.mm.cost.max_cost);
 }
@@ -110,13 +110,13 @@ TEST(Baselines, LocalAndCompatibilityChecksStillApply) {
   }
   BasicNegotiator basic(sys.catalog, sys.farm, *sys.transport);
   CostOnlyNegotiator cost(sys.catalog, sys.farm, *sys.transport, CostModel{});
-  EXPECT_EQ(basic.negotiate(bw, "article", profile).status,
+  EXPECT_EQ(basic.negotiate(bw, "article", profile).verdict,
             NegotiationStatus::kFailedWithLocalOffer);
-  EXPECT_EQ(cost.negotiate(bw, "article", profile).status,
+  EXPECT_EQ(cost.negotiate(bw, "article", profile).verdict,
             NegotiationStatus::kFailedWithLocalOffer);
-  EXPECT_EQ(basic.negotiate(sys.client, "ghost", profile).status,
+  EXPECT_EQ(basic.negotiate(sys.client, "ghost", profile).verdict,
             NegotiationStatus::kFailedWithoutOffer);
-  EXPECT_EQ(cost.negotiate(sys.client, "ghost", profile).status,
+  EXPECT_EQ(cost.negotiate(sys.client, "ghost", profile).verdict,
             NegotiationStatus::kFailedWithoutOffer);
 }
 
@@ -134,7 +134,7 @@ TEST(Baselines, SmartServiceRateDominatesBasicUnderLoad) {
 
   int smart_served = 0;
   int basic_served = 0;
-  std::vector<NegotiationOutcome> held;
+  std::vector<NegotiationResult> held;
   for (int i = 0; i < 30; ++i) {
     auto a = smart.negotiate(smart_sys.client, "article", profile);
     if (a.has_commitment()) {

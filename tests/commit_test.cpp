@@ -122,7 +122,8 @@ TEST(Commit, UnknownServerFailsCleanly) {
   ResourceCommitter committer(sys.farm, *sys.transport);
   auto commitment = committer.commit(sys.client, ghost_list.offers[0]);
   ASSERT_FALSE(commitment.ok());
-  EXPECT_NE(commitment.error().message.find("server-ghost"), std::string::npos);
+  EXPECT_EQ(commitment.error().component, "server-ghost");
+  EXPECT_NE(commitment.error().describe().find("server-ghost"), std::string::npos);
   EXPECT_FALSE(commitment.error().transient);
 }
 

@@ -171,9 +171,9 @@ TEST(MultiDomain, FullNegotiationRunsAcrossDomains) {
                                      /*cheap_capacity=*/200'000'000);
   MultiDomainTransport& net = *netp;
   QoSManager manager(sys.catalog, sys.farm, net);
-  NegotiationOutcome outcome =
+  NegotiationResult outcome =
       manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
-  EXPECT_EQ(outcome.status, NegotiationStatus::kSucceeded);
+  EXPECT_EQ(outcome.verdict, NegotiationStatus::kSucceeded);
   ASSERT_TRUE(outcome.has_commitment());
   EXPECT_GT(net.active_flows(), 0u);
   outcome.commitment.release();

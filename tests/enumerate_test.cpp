@@ -231,11 +231,11 @@ TEST(Prune, BestCommittedOfferUnchangedByPruning) {
   QoSManager pruned(sys_pruned.catalog, sys_pruned.farm, *sys_pruned.transport, CostModel{},
                     pruned_config);
   const UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationOutcome a = plain.negotiate(sys_plain.client, "article", profile);
-  NegotiationOutcome b = pruned.negotiate(sys_pruned.client, "article", profile);
+  NegotiationResult a = plain.negotiate(sys_plain.client, "article", profile);
+  NegotiationResult b = pruned.negotiate(sys_pruned.client, "article", profile);
   ASSERT_TRUE(a.has_commitment());
   ASSERT_TRUE(b.has_commitment());
-  ASSERT_EQ(a.status, b.status);
+  ASSERT_EQ(a.verdict, b.verdict);
   const auto& ca = a.offers.offers[a.committed_index].components;
   const auto& cb = b.offers.offers[b.committed_index].components;
   ASSERT_EQ(ca.size(), cb.size());

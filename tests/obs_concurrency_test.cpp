@@ -1,0 +1,125 @@
+// Concurrency hammering for the observability primitives. These tests are
+// labelled `concurrency` so the tsan preset runs them under
+// ThreadSanitizer: the interesting assertion is "no data race", the counts
+// are just the visible half of it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace qosnp {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kPerThread = 10'000;
+
+TEST(ObsConcurrency, CounterSumsAllThreads) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsConcurrency, GaugeUpdateMaxConverges) {
+  Gauge gauge;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge, t] {
+      for (int i = 0; i < kPerThread; ++i) gauge.update_max(t * kPerThread + i);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(gauge.value(), (kThreads - 1) * kPerThread + kPerThread - 1);
+}
+
+TEST(ObsConcurrency, HistogramRecordsFromAllThreads) {
+  HistogramMetric histogram;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) histogram.record(1.0 + (i % 50));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(histogram.merged().count(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsConcurrency, RegistryRegistrationRaces) {
+  // All threads register the same and different samples while a reader
+  // keeps exposing; handles must come out identical for identical keys.
+  MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)registry.expose();
+      (void)registry.counter_value("shared");
+    }
+  });
+  std::vector<Counter*> shared_handles(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &shared_handles, t] {
+      Counter& shared = registry.counter("shared");
+      shared_handles[static_cast<std::size_t>(t)] = &shared;
+      Counter& mine =
+          registry.counter("per-thread", {{"thread", std::to_string(t)}});
+      for (int i = 0; i < 1000; ++i) {
+        shared.inc();
+        mine.inc();
+        registry.gauge("depth").update_max(i);
+        registry.histogram("lat").record(static_cast<double>(i % 10));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(shared_handles[0], shared_handles[static_cast<std::size_t>(t)]);
+  }
+  EXPECT_EQ(registry.counter_value("shared"), static_cast<std::uint64_t>(kThreads) * 1000);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.counter_value("per-thread", {{"thread", std::to_string(t)}}), 1000u);
+  }
+}
+
+TEST(ObsConcurrency, RingSinkRecordAndQueryRace) {
+  RingBufferSink ring(32);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)ring.snapshot();
+      (void)ring.find(1);
+      (void)ring.size();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&ring, t] {
+      for (int i = 0; i < 2000; ++i) {
+        auto trace =
+            std::make_shared<NegotiationTrace>(static_cast<std::uint64_t>(t) * 2000 + i);
+        trace->end_span(trace->begin_span(Stage::kLocalCheck));
+        ring.record(std::move(trace));
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(ring.size(), 32u);
+  EXPECT_EQ(ring.total_recorded(), static_cast<std::uint64_t>(kThreads) * 2000);
+}
+
+}  // namespace
+}  // namespace qosnp

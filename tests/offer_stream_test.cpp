@@ -1,7 +1,7 @@
 // Differential and property tests for the lazy best-first offer stream
 // (OfferStream): over seeded random corpora, profiles, and policies, the
 // stream must yield byte-identical offers in byte-identical order to the
-// eager enumerate+classify oracle, produce identical NegotiationOutcomes,
+// eager enumerate+classify oracle, produce identical NegotiationResults,
 // and keep those guarantees while session adaptation pulls offers past the
 // initially-consumed prefix — including under injected commitment faults.
 // Also the regression test for the latent eager-truncation defect: with the
@@ -177,7 +177,7 @@ NegotiationConfig strategy_config(EnumerationStrategy strategy) {
   return config;
 }
 
-TEST(OfferStreamDifferential, NegotiationOutcomeMatchesEagerAcrossCorpora) {
+TEST(OfferStreamDifferential, NegotiationResultMatchesEagerAcrossCorpora) {
   std::size_t compared = 0;
   for (std::uint64_t seed = 1; seed <= 40; ++seed) {
     TestSystem eager_sys;
@@ -197,13 +197,13 @@ TEST(OfferStreamDifferential, NegotiationOutcomeMatchesEagerAcrossCorpora) {
     Rng rng(seed);
     // Keep the outcomes (and so the commitments) alive for the whole seed:
     // resources then evolve identically on both sides request by request.
-    std::vector<NegotiationOutcome> keep_eager, keep_lazy;
+    std::vector<NegotiationResult> keep_eager, keep_lazy;
     for (const DocumentId& id : eager_sys.catalog.list()) {
       for (int rep = 0; rep < 2; ++rep) {
         const UserProfile profile = random_profile(rng);
-        NegotiationOutcome a = eager.negotiate(eager_sys.client, id, profile);
-        NegotiationOutcome b = lazy.negotiate(lazy_sys.client, id, profile);
-        EXPECT_EQ(a.status, b.status) << "seed " << seed << " doc " << id;
+        NegotiationResult a = eager.negotiate(eager_sys.client, id, profile);
+        NegotiationResult b = lazy.negotiate(lazy_sys.client, id, profile);
+        EXPECT_EQ(a.verdict, b.verdict) << "seed " << seed << " doc " << id;
         EXPECT_EQ(a.committed_index, b.committed_index) << "seed " << seed << " doc " << id;
         EXPECT_EQ(a.problems, b.problems) << "seed " << seed << " doc " << id;
         ASSERT_EQ(a.has_commitment(), b.has_commitment());
@@ -284,15 +284,15 @@ TEST(OfferStreamRegression, BestFirstCommitsTheBestOfferTheEagerCapDropped) {
   QoSManager lazy(lazy_sys.catalog, lazy_sys.farm, *lazy_sys.transport, CostModel{},
                   lazy_config);
 
-  NegotiationOutcome truncated = eager.negotiate(eager_sys.client, "best-last", profile);
-  NegotiationOutcome best = lazy.negotiate(lazy_sys.client, "best-last", profile);
+  NegotiationResult truncated = eager.negotiate(eager_sys.client, "best-last", profile);
+  NegotiationResult best = lazy.negotiate(lazy_sys.client, "best-last", profile);
   ASSERT_TRUE(truncated.has_commitment());
   ASSERT_TRUE(best.has_commitment());
 
   // Best-first commits the true best offer: both desired variants.
   EXPECT_EQ(signature(best.offers.offers[best.committed_index]),
             "best-last/video/best|best-last/audio/best|");
-  EXPECT_EQ(best.status, NegotiationStatus::kSucceeded);
+  EXPECT_EQ(best.verdict, NegotiationStatus::kSucceeded);
   // The eager cap dropped it, so the eager walk committed something worse —
   // and the truncation was reported, not silent.
   EXPECT_NE(signature(truncated.offers.offers[truncated.committed_index]),
@@ -317,8 +317,8 @@ TEST(OfferStreamAdaptation, LadderMarchMatchesEagerUnderExcludeAllTried) {
   QoSManager lazy(lazy_sys.catalog, lazy_sys.farm, *lazy_sys.transport, CostModel{},
                   strategy_config(EnumerationStrategy::kBestFirst));
   const UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationOutcome a = eager.negotiate(eager_sys.client, "article", profile);
-  NegotiationOutcome b = lazy.negotiate(lazy_sys.client, "article", profile);
+  NegotiationResult a = eager.negotiate(eager_sys.client, "article", profile);
+  NegotiationResult b = lazy.negotiate(lazy_sys.client, "article", profile);
   ASSERT_TRUE(a.has_commitment());
   ASSERT_TRUE(b.has_commitment());
   // The lazy negotiation consumed only a prefix; the ladder is still known
@@ -368,8 +368,8 @@ TEST(OfferStreamAdaptation, FaultedCommitWalkMatchesEagerAndFetchesDeeper) {
     FaultyTransportProvider transport(*sys.transport, plan);
     QoSManager manager(sys.catalog, farm, transport, CostModel{}, strategy_config(strategy));
     const UserProfile profile = TestSystem::tolerant_profile();
-    NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
-    return std::tuple{outcome.status, outcome.committed_index, outcome.problems,
+    NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
+    return std::tuple{outcome.verdict, outcome.committed_index, outcome.problems,
                       outcome.commit_stats.attempts, outcome.commit_stats.transient_failures,
                       outcome.offers.offers.size()};
   };
@@ -392,7 +392,7 @@ TEST(OfferStreamLaziness, NegotiationMaterialisesOnlyTheWalkedPrefix) {
   QoSManager manager(sys.catalog, sys.farm, *sys.transport, CostModel{},
                      strategy_config(EnumerationStrategy::kBestFirst));
   const UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
+  NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
   ASSERT_TRUE(outcome.has_commitment());
   EXPECT_EQ(outcome.offers.known_count(), 20u);
   // The first offer commits, so the walk needed at most a couple of fetches.

@@ -16,8 +16,8 @@ TEST(QoSManager, SucceedsOnSatisfiableRequest) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   const UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
-  EXPECT_EQ(outcome.status, NegotiationStatus::kSucceeded);
+  NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
+  EXPECT_EQ(outcome.verdict, NegotiationStatus::kSucceeded);
   ASSERT_TRUE(outcome.user_offer.has_value());
   ASSERT_TRUE(outcome.has_commitment());
   // The committed offer satisfies the requested QoS and budget.
@@ -32,7 +32,7 @@ TEST(QoSManager, CommitsTheTopClassifiedOffer) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   const UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
+  NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
   ASSERT_TRUE(outcome.has_commitment());
   // With ample resources the very first (best) offer must be the one
   // committed.
@@ -43,9 +43,9 @@ TEST(QoSManager, CommitsTheTopClassifiedOffer) {
 TEST(QoSManager, UnknownDocumentFailsWithoutOffer) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
-  NegotiationOutcome outcome =
+  NegotiationResult outcome =
       manager.negotiate(sys.client, "no-such-doc", TestSystem::tolerant_profile());
-  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedWithoutOffer);
+  EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedWithoutOffer);
   EXPECT_FALSE(outcome.has_commitment());
 }
 
@@ -56,8 +56,8 @@ TEST(QoSManager, LocalFailureReturnsLocalOffer) {
   bw.screen = ScreenSpec{640, 480, ColorDepth::kBlackWhite};
   UserProfile profile = TestSystem::tolerant_profile();
   profile.mm.video->worst = VideoQoS{ColorDepth::kColor, 10, 320};  // colour floor
-  NegotiationOutcome outcome = manager.negotiate(bw, "article", profile);
-  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedWithLocalOffer);
+  NegotiationResult outcome = manager.negotiate(bw, "article", profile);
+  EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedWithLocalOffer);
   ASSERT_TRUE(outcome.user_offer.has_value());
   // The local offer is clipped to the black&white screen.
   EXPECT_EQ(outcome.user_offer->video->color, ColorDepth::kBlackWhite);
@@ -69,18 +69,18 @@ TEST(QoSManager, UndecodableDocumentFailsWithoutOffer) {
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   ClientMachine odd = sys.client;
   odd.decoders = {CodingFormat::kH261, CodingFormat::kPCM, CodingFormat::kPlainText};
-  NegotiationOutcome outcome =
+  NegotiationResult outcome =
       manager.negotiate(odd, "article", TestSystem::tolerant_profile());
-  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedWithoutOffer);
+  EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedWithoutOffer);
   EXPECT_FALSE(outcome.user_offer.has_value());
 }
 
 TEST(QoSManager, ResourceShortageFailsTryLater) {
   TestSystem sys(/*access_bps=*/50'000);  // not even the cheapest offer fits
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
-  NegotiationOutcome outcome =
+  NegotiationResult outcome =
       manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
-  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedTryLater);
+  EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedTryLater);
   EXPECT_FALSE(outcome.has_commitment());
   EXPECT_FALSE(outcome.problems.empty());
 }
@@ -92,8 +92,8 @@ TEST(QoSManager, UnsatisfiableQosYieldsFailedWithOffer) {
   // Nothing in the catalog offers HDTV rate; the floor is above every variant.
   greedy.mm.video->desired = VideoQoS{ColorDepth::kSuperColor, 60, 1920};
   greedy.mm.video->worst = VideoQoS{ColorDepth::kSuperColor, 60, 1920};
-  NegotiationOutcome outcome = manager.negotiate(sys.client, "article", greedy);
-  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedWithOffer);
+  NegotiationResult outcome = manager.negotiate(sys.client, "article", greedy);
+  EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedWithOffer);
   ASSERT_TRUE(outcome.user_offer.has_value());
   ASSERT_TRUE(outcome.has_commitment());
   // The best the system can do is offered, even though it violates the floor.
@@ -105,7 +105,7 @@ TEST(QoSManager, TightBudgetPrefersCheaperSatisfyingOffer) {
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   UserProfile profile = TestSystem::tolerant_profile();
   profile.importance.cost_per_dollar = 10.0;  // cost-sensitive user
-  NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
+  NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
   ASSERT_TRUE(outcome.has_commitment());
   const SystemOffer& committed = outcome.offers.offers[outcome.committed_index];
   // Every satisfying offer with a higher OIF would have been committed
@@ -119,7 +119,7 @@ TEST(QoSManager, TightBudgetPrefersCheaperSatisfyingOffer) {
 TEST(QoSManager, ClassificationOrderIsBestToWorst) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
-  NegotiationOutcome outcome =
+  NegotiationResult outcome =
       manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
   const auto& offers = outcome.offers.offers;
   for (std::size_t i = 1; i < offers.size(); ++i) {
@@ -138,7 +138,7 @@ TEST(QoSManager, FallsBackToNextOfferWhenBestIsFull) {
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   MediaServer* a = sys.farm.find("server-a");
   a->degrade(0.999);  // effectively no disk bandwidth left
-  NegotiationOutcome outcome =
+  NegotiationResult outcome =
       manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
   ASSERT_TRUE(outcome.has_commitment()) << outcome.problems.empty();
   // The continuous (guaranteed) streams no longer fit on server-a; only a
@@ -153,7 +153,7 @@ TEST(QoSManager, FallsBackToNextOfferWhenBestIsFull) {
 TEST(QoSManager, CommitFirstHonoursExclusions) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
-  NegotiationOutcome outcome =
+  NegotiationResult outcome =
       manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
   ASSERT_TRUE(outcome.has_commitment());
   const std::size_t first = outcome.committed_index;
@@ -182,12 +182,12 @@ TEST(QoSManager, RepeatedNegotiationsConsumeCapacity) {
                  /*server_bps=*/200'000'000);
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   const UserProfile profile = TestSystem::tolerant_profile();
-  std::vector<NegotiationOutcome> held;
+  std::vector<NegotiationResult> held;
   int succeeded = 0;
   int degraded_or_refused = 0;
   for (int i = 0; i < 40; ++i) {
-    NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
-    if (outcome.status == NegotiationStatus::kSucceeded) {
+    NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
+    if (outcome.verdict == NegotiationStatus::kSucceeded) {
       ++succeeded;
     } else {
       ++degraded_or_refused;
@@ -205,7 +205,7 @@ TEST(QoSManager, TruncationIsReportedAsProblem) {
   NegotiationConfig config;
   config.enumeration.max_offers = 3;  // the article yields 20 combinations
   QoSManager manager(sys.catalog, sys.farm, *sys.transport, CostModel{}, config);
-  NegotiationOutcome outcome =
+  NegotiationResult outcome =
       manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
   ASSERT_TRUE(outcome.offers.truncated);
   bool mentioned = false;
@@ -218,9 +218,9 @@ TEST(QoSManager, TruncationIsReportedAsProblem) {
 TEST(QoSManager, NegotiateDocumentRejectsNull) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
-  NegotiationOutcome outcome =
+  NegotiationResult outcome =
       manager.negotiate_document(sys.client, nullptr, TestSystem::tolerant_profile());
-  EXPECT_EQ(outcome.status, NegotiationStatus::kFailedWithoutOffer);
+  EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedWithoutOffer);
 }
 
 TEST(QoSManager, NegotiateDocumentWorksWithoutCatalogEntry) {
@@ -230,9 +230,9 @@ TEST(QoSManager, NegotiateDocumentWorksWithoutCatalogEntry) {
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   auto doc = sys.catalog.find("article");
   sys.catalog.remove("article");
-  NegotiationOutcome outcome =
+  NegotiationResult outcome =
       manager.negotiate_document(sys.client, doc, TestSystem::tolerant_profile());
-  EXPECT_EQ(outcome.status, NegotiationStatus::kSucceeded);
+  EXPECT_EQ(outcome.verdict, NegotiationStatus::kSucceeded);
 }
 
 TEST(QoSManager, ParallelClassificationPathProducesSameOutcome) {
@@ -242,10 +242,10 @@ TEST(QoSManager, ParallelClassificationPathProducesSameOutcome) {
   NegotiationConfig parallel_config;
   parallel_config.parallel_threshold = 1;
   QoSManager serial(sys.catalog, sys.farm, *sys.transport, CostModel{}, serial_config);
-  NegotiationOutcome a = serial.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  NegotiationResult a = serial.negotiate(sys.client, "article", TestSystem::tolerant_profile());
   a.commitment.release();
   QoSManager parallel(sys.catalog, sys.farm, *sys.transport, CostModel{}, parallel_config);
-  NegotiationOutcome b =
+  NegotiationResult b =
       parallel.negotiate(sys.client, "article", TestSystem::tolerant_profile());
   ASSERT_EQ(a.offers.offers.size(), b.offers.offers.size());
   for (std::size_t i = 0; i < a.offers.offers.size(); ++i) {

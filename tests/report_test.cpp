@@ -12,9 +12,9 @@ using testing::TestSystem;
 TEST(Report, SucceededWindowShowsOfferAndCost) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
-  NegotiationOutcome outcome =
+  NegotiationResult outcome =
       manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
-  ASSERT_EQ(outcome.status, NegotiationStatus::kSucceeded);
+  ASSERT_EQ(outcome.verdict, NegotiationStatus::kSucceeded);
   const std::string window = render_information_window(outcome);
   EXPECT_NE(window.find("SUCCEEDED"), std::string::npos);
   EXPECT_NE(window.find("video:"), std::string::npos);
@@ -31,8 +31,8 @@ TEST(Report, LocalOfferWindowExplainsTheFloor) {
   bw.screen = ScreenSpec{640, 480, ColorDepth::kBlackWhite};
   UserProfile profile = TestSystem::tolerant_profile();
   profile.mm.video->worst = VideoQoS{ColorDepth::kColor, 10, 320};
-  NegotiationOutcome outcome = manager.negotiate(bw, "article", profile);
-  ASSERT_EQ(outcome.status, NegotiationStatus::kFailedWithLocalOffer);
+  NegotiationResult outcome = manager.negotiate(bw, "article", profile);
+  ASSERT_EQ(outcome.verdict, NegotiationStatus::kFailedWithLocalOffer);
   const std::string window = render_information_window(outcome);
   EXPECT_NE(window.find("FAILEDWITHLOCALOFFER"), std::string::npos);
   EXPECT_NE(window.find("note:"), std::string::npos);
@@ -42,9 +42,9 @@ TEST(Report, LocalOfferWindowExplainsTheFloor) {
 TEST(Report, TryLaterWindowSuggestsRetry) {
   TestSystem sys(/*access_bps=*/50'000);
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
-  NegotiationOutcome outcome =
+  NegotiationResult outcome =
       manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
-  ASSERT_EQ(outcome.status, NegotiationStatus::kFailedTryLater);
+  ASSERT_EQ(outcome.verdict, NegotiationStatus::kFailedTryLater);
   const std::string window = render_information_window(outcome);
   EXPECT_NE(window.find("Try again later"), std::string::npos);
 }
@@ -52,7 +52,7 @@ TEST(Report, TryLaterWindowSuggestsRetry) {
 TEST(Report, SummaryIsOneLine) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
-  NegotiationOutcome outcome =
+  NegotiationResult outcome =
       manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
   const std::string summary = render_summary(outcome);
   EXPECT_EQ(summary.find('\n'), std::string::npos);
@@ -63,7 +63,7 @@ TEST(Report, ClassificationTableMarksTheCommittedOffer) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   const UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationOutcome outcome = manager.negotiate(sys.client, "article", profile);
+  NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
   ASSERT_TRUE(outcome.has_commitment());
   const std::string table = render_classification_table(outcome, profile.mm, 5);
   EXPECT_NE(table.find("> 1"), std::string::npos);  // rank 1 committed
@@ -73,7 +73,7 @@ TEST(Report, ClassificationTableMarksTheCommittedOffer) {
 }
 
 TEST(Report, ClassificationTableHandlesEmptyOutcome) {
-  NegotiationOutcome empty;
+  NegotiationResult empty;
   const std::string table = render_classification_table(empty, MMProfile{});
   EXPECT_NE(table.find("classified 0 system offers"), std::string::npos);
 }
@@ -84,8 +84,8 @@ TEST(Report, EveryStatusRendersNonEmpty) {
        {NegotiationStatus::kSucceeded, NegotiationStatus::kFailedWithOffer,
         NegotiationStatus::kFailedTryLater, NegotiationStatus::kFailedWithoutOffer,
         NegotiationStatus::kFailedWithLocalOffer}) {
-    NegotiationOutcome outcome;
-    outcome.status = status;
+    NegotiationResult outcome;
+    outcome.verdict = status;
     const std::string window = render_information_window(outcome);
     EXPECT_NE(window.find(to_string(status)), std::string::npos);
     EXPECT_GT(window.size(), 50u);

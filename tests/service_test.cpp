@@ -37,21 +37,21 @@ TEST(NegotiationService, ConcurrentRequestsAllServedOnRichFarm) {
   service.start();
 
   const UserProfile profile = TestSystem::tolerant_profile();
-  std::vector<std::future<ServiceResponse>> futures;
+  std::vector<std::future<NegotiationResult>> futures;
   for (std::uint64_t i = 0; i < 64; ++i) {
     futures.push_back(service.submit(make_request(sys, i, profile)));
   }
   std::vector<SessionId> opened;
   for (auto& f : futures) {
-    const ServiceResponse resp = f.get();
-    EXPECT_EQ(resp.status, NegotiationStatus::kSucceeded);
+    const NegotiationResult resp = f.get();
+    EXPECT_EQ(resp.verdict, NegotiationStatus::kSucceeded);
     EXPECT_EQ(resp.shed, ShedReason::kNone);
-    ASSERT_NE(resp.session, 0u);
+    ASSERT_NE(resp.session_id, 0u);
     EXPECT_GE(resp.worker, 0);
     EXPECT_LE(resp.queue_ms, resp.total_ms);
-    opened.push_back(resp.session);
+    opened.push_back(resp.session_id);
     // Auto-confirmed: the session is playing.
-    const auto view = sys.sessions->snapshot(resp.session);
+    const auto view = sys.sessions->snapshot(resp.session_id);
     ASSERT_TRUE(view.has_value());
     EXPECT_EQ(view->state, SessionState::kPlaying);
   }
@@ -82,22 +82,22 @@ TEST(NegotiationService, FullQueueShedsWithFailedTryLater) {
   service.start();
 
   const UserProfile profile = TestSystem::tolerant_profile();
-  std::vector<std::future<ServiceResponse>> futures;
+  std::vector<std::future<NegotiationResult>> futures;
   for (std::uint64_t i = 0; i < 32; ++i) {
     futures.push_back(service.submit(make_request(sys, i, profile)));
   }
   std::size_t shed = 0;
   std::size_t served = 0;
   for (auto& f : futures) {
-    const ServiceResponse resp = f.get();
+    const NegotiationResult resp = f.get();
     if (resp.shed == ShedReason::kQueueFull) {
       ++shed;
-      EXPECT_EQ(resp.status, NegotiationStatus::kFailedTryLater);
-      EXPECT_EQ(resp.session, 0u);
+      EXPECT_EQ(resp.verdict, NegotiationStatus::kFailedTryLater);
+      EXPECT_EQ(resp.session_id, 0u);
       EXPECT_EQ(resp.worker, -1);
     } else {
       ++served;
-      if (resp.session != 0) sys.sessions->complete(resp.session);
+      if (resp.session_id != 0) sys.sessions->complete(resp.session_id);
     }
   }
   service.stop();
@@ -124,20 +124,20 @@ TEST(NegotiationService, QueueDeadlineShedsAgedRequests) {
   service.start();
 
   const UserProfile profile = TestSystem::tolerant_profile();
-  std::vector<std::future<ServiceResponse>> futures;
+  std::vector<std::future<NegotiationResult>> futures;
   for (std::uint64_t i = 0; i < 8; ++i) {
     futures.push_back(service.submit(make_request(sys, i, profile)));
   }
   std::size_t expired = 0;
   for (auto& f : futures) {
-    const ServiceResponse resp = f.get();
+    const NegotiationResult resp = f.get();
     if (resp.shed == ShedReason::kDeadlineExpired) {
       ++expired;
-      EXPECT_EQ(resp.status, NegotiationStatus::kFailedTryLater);
-      EXPECT_EQ(resp.session, 0u);
+      EXPECT_EQ(resp.verdict, NegotiationStatus::kFailedTryLater);
+      EXPECT_EQ(resp.session_id, 0u);
       EXPECT_GT(resp.queue_ms, config.deadline_ms);
-    } else if (resp.session != 0) {
-      sys.sessions->complete(resp.session);
+    } else if (resp.session_id != 0) {
+      sys.sessions->complete(resp.session_id);
     }
   }
   service.stop();
@@ -160,21 +160,21 @@ TEST(NegotiationService, DeclinedDegradedOfferReleasesItsCommitment) {
 
   ServiceRequest declined = make_request(sys, 1, stingy);
   declined.accept_degraded = false;
-  const ServiceResponse declined_resp = service.submit(std::move(declined)).get();
-  EXPECT_EQ(declined_resp.status, NegotiationStatus::kFailedWithOffer);
-  EXPECT_EQ(declined_resp.session, 0u);
+  const NegotiationResult declined_resp = service.submit(std::move(declined)).get();
+  EXPECT_EQ(declined_resp.verdict, NegotiationStatus::kFailedWithOffer);
+  EXPECT_EQ(declined_resp.session_id, 0u);
   // Step 6 decline: the worker released the commitment immediately.
   EXPECT_TRUE(sys.drained());
 
   ServiceRequest accepted = make_request(sys, 2, stingy);
   accepted.accept_degraded = true;
-  const ServiceResponse accepted_resp = service.submit(std::move(accepted)).get();
-  EXPECT_EQ(accepted_resp.status, NegotiationStatus::kFailedWithOffer);
-  ASSERT_NE(accepted_resp.session, 0u);
+  const NegotiationResult accepted_resp = service.submit(std::move(accepted)).get();
+  EXPECT_EQ(accepted_resp.verdict, NegotiationStatus::kFailedWithOffer);
+  ASSERT_NE(accepted_resp.session_id, 0u);
   EXPECT_EQ(sys.sessions->active_count(), 1u);
 
   service.stop();
-  sys.sessions->complete(accepted_resp.session);
+  sys.sessions->complete(accepted_resp.session_id);
   EXPECT_TRUE(sys.drained());
 }
 
@@ -188,7 +188,7 @@ TEST(NegotiationService, StopDrainsTheBacklogBeforeJoining) {
   service.start();
 
   const UserProfile profile = TestSystem::tolerant_profile();
-  std::vector<std::future<ServiceResponse>> futures;
+  std::vector<std::future<NegotiationResult>> futures;
   for (std::uint64_t i = 0; i < 24; ++i) {
     futures.push_back(service.submit(make_request(sys, i, profile)));
   }
@@ -196,16 +196,16 @@ TEST(NegotiationService, StopDrainsTheBacklogBeforeJoining) {
 
   std::size_t answered = 0;
   for (auto& f : futures) {
-    const ServiceResponse resp = f.get();  // would throw on a broken promise
+    const NegotiationResult resp = f.get();  // would throw on a broken promise
     ++answered;
-    if (resp.session != 0) sys.sessions->complete(resp.session);
+    if (resp.session_id != 0) sys.sessions->complete(resp.session_id);
   }
   EXPECT_EQ(answered, 24u);
   EXPECT_TRUE(sys.drained());
 
   // Submissions after stop() are shed, not lost.
-  const ServiceResponse late = service.submit(make_request(sys, 99, profile)).get();
-  EXPECT_EQ(late.status, NegotiationStatus::kFailedTryLater);
+  const NegotiationResult late = service.submit(make_request(sys, 99, profile)).get();
+  EXPECT_EQ(late.verdict, NegotiationStatus::kFailedTryLater);
   EXPECT_EQ(late.shed, ShedReason::kQueueFull);
 }
 
@@ -219,13 +219,13 @@ TEST(NegotiationService, ReportAccountsForEverySubmission) {
   service.start();
 
   const UserProfile profile = TestSystem::tolerant_profile();
-  std::vector<std::future<ServiceResponse>> futures;
+  std::vector<std::future<NegotiationResult>> futures;
   for (std::uint64_t i = 0; i < 40; ++i) {
     futures.push_back(service.submit(make_request(sys, i, profile)));
   }
   for (auto& f : futures) {
-    const ServiceResponse resp = f.get();
-    if (resp.session != 0) sys.sessions->complete(resp.session);
+    const NegotiationResult resp = f.get();
+    if (resp.session_id != 0) sys.sessions->complete(resp.session_id);
   }
   service.stop();
 
