@@ -103,7 +103,7 @@ int main() {
                          CodingFormat::kGIF};
       const UserProfile& profile = profiles[rng.below(profiles.size())];
       NegotiationResult outcome =
-          manager.negotiate(client, doc_ids[rng.below(doc_ids.size())], profile);
+          manager.negotiate(make_negotiation_request(client, doc_ids[rng.below(doc_ids.size())], profile));
       if (!outcome.has_commitment()) {
         ++blocked;
         continue;

@@ -115,7 +115,7 @@ std::vector<double> run_exact_latencies(NegotiationService& service, ServiceSyst
     for (;;) {
       const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= requests) return;
-      ServiceRequest req;
+      NegotiationRequest req;
       req.id = i + 1;
       req.client = sys.clients[i % sys.clients.size()];
       req.document = document;
@@ -238,7 +238,7 @@ TracingOverhead measure_tracing_overhead() {
   traced.start();
 
   auto one = [&](NegotiationService& service, std::uint64_t id) {
-    ServiceRequest req;
+    NegotiationRequest req;
     req.id = id;
     req.client = sys.clients[id % sys.clients.size()];
     req.document = "heavy";

@@ -155,7 +155,7 @@ void BM_NegotiateEndToEnd(benchmark::State& state) {
   const ClientMachine client = capable_client();
   const UserProfile profile = video_profile();
   for (auto _ : state) {
-    NegotiationResult outcome = manager.negotiate(client, "synthetic", profile);
+    NegotiationResult outcome = manager.negotiate(make_negotiation_request(client, "synthetic", profile));
     benchmark::DoNotOptimize(outcome.verdict);
     // Release so the next iteration starts from a clean slate.
     outcome.commitment.release();

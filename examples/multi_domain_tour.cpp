@@ -60,7 +60,7 @@ int main() {
   std::cout << "Negotiating every article; transit = regional (cheap) or premium:\n\n";
   std::vector<NegotiationResult> held;
   for (const DocumentId& id : catalog.list()) {
-    NegotiationResult outcome = manager.negotiate(client, id, profile);
+    NegotiationResult outcome = manager.negotiate(make_negotiation_request(client, id, profile));
     std::cout << id << ": " << to_string(outcome.verdict);
     if (outcome.has_commitment()) {
       std::cout << " via {";

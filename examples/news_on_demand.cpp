@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
 
   banner("Scenario 1: a typical viewer on the workstation");
   UserProfile typical = standard_profile_mix()[1];
-  NegotiationResult outcome = manager.negotiate(workstation, ids.front(), typical);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(workstation, ids.front(), typical));
   show_outcome(outcome);
   if (!outcome.has_commitment()) return 1;
   std::cout << "   " << '\n'
@@ -125,19 +125,19 @@ int main(int argc, char** argv) {
 
   banner("Scenario 3: the limited lobby terminal");
   UserProfile demanding = standard_profile_mix()[0];
-  NegotiationResult local = manager.negotiate(terminal, ids.front(), demanding);
+  NegotiationResult local = manager.negotiate(make_negotiation_request(terminal, ids.front(), demanding));
   show_outcome(local);
   std::cout << "   (the profile manager would now show the local offer and let the user\n"
                "    lower the worst-acceptable values and renegotiate)\n";
 
   banner("Scenario 4: renegotiation with a modest profile");
   UserProfile modest = standard_profile_mix()[2];
-  NegotiationResult retry = manager.negotiate(terminal, ids.front(), modest);
+  NegotiationResult retry = manager.negotiate(make_negotiation_request(terminal, ids.front(), modest));
   show_outcome(retry);
   if (retry.verdict == NegotiationStatus::kFailedWithoutOffer && modest.mm.audio) {
     std::cout << "   renegotiating without the audio track...\n";
     modest.mm.audio.reset();
-    retry = manager.negotiate(terminal, ids.front(), modest);
+    retry = manager.negotiate(make_negotiation_request(terminal, ids.front(), modest));
     show_outcome(retry);
   }
   if (retry.has_commitment()) {

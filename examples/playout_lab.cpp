@@ -45,7 +45,7 @@ int main() {
   QoSManager manager(catalog, farm, transport);
   const UserProfile profile = standard_profile_mix()[1];
   const DocumentId doc_id = catalog.list().front();
-  NegotiationResult outcome = manager.negotiate(client, doc_id, profile);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(client, doc_id, profile));
   std::cout << "negotiated '" << doc_id << "': " << to_string(outcome.verdict) << '\n';
   if (!outcome.has_commitment()) return 1;
   const SystemOffer& offer = outcome.offers.offers[outcome.committed_index];

@@ -54,7 +54,7 @@ int cmd_try(const UserProfile& profile) {
   QoSManager manager(catalog, farm, transport);
 
   for (const DocumentId& id : catalog.list()) {
-    NegotiationResult outcome = manager.negotiate(client, id, profile);
+    NegotiationResult outcome = manager.negotiate(make_negotiation_request(client, id, profile));
     std::cout << id << ": " << to_string(outcome.verdict);
     if (outcome.user_offer) std::cout << "\n    " << outcome.user_offer->describe();
     std::cout << '\n';

@@ -84,7 +84,7 @@ int main() {
 
   // --- 4. Negotiate. -------------------------------------------------------
   QoSManager manager(catalog, farm, transport);
-  NegotiationResult outcome = manager.negotiate(client, "news/2026-07-05/markets", profile);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(client, "news/2026-07-05/markets", profile));
 
   // The information window of the prototype's QoS GUI.
   std::cout << render_information_window(outcome) << '\n';

@@ -1,34 +1,53 @@
 #!/bin/sh
-# Gate on the deprecated NegotiationOutcome / ServiceResponse aliases: they
-# exist for exactly one PR so downstreams can migrate, and nothing in this
-# repo may keep using them. The only permitted occurrences are the alias
-# definitions themselves (and this script). Run from anywhere; registered
-# with ctest as check_no_deprecated.
+# Gate on deprecated API surface. Two kinds of checks:
+#  - removed names (NegotiationOutcome / ServiceResponse): their deprecation
+#    PR is over and the aliases are deleted; nothing may reintroduce a
+#    reference.
+#  - one-PR migration shims (ServiceRequest, the multi-argument
+#    negotiate()/negotiate_document() overloads): they exist for exactly one
+#    PR so downstreams can migrate, and only their definition sites may
+#    mention them. Next PR deletes the shims and drops their allowlists.
+# Run from anywhere; registered with ctest as check_no_deprecated.
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 status=0
 
+# check <label> <pattern> [allowed-file ...]: flag every occurrence of
+# <pattern> in compiled code outside the allowlisted files.
 check() {
-    name="$1"
-    # All compiled code; the two headers holding the alias definitions (and
-    # the comment cross-referencing them) are the only exemption, and docs
-    # may mention the aliases to describe the migration.
-    hits="$(grep -rn "$name" \
-        "$repo/src" "$repo/tests" "$repo/bench" "$repo/examples" 2>/dev/null \
-        | grep -v "src/core/negotiation_result.hpp" \
-        | grep -v "src/service/negotiation_service.hpp" || true)"
+    label="$1"
+    pattern="$2"
+    shift 2
+    hits="$(grep -rEn "$pattern" \
+        "$repo/src" "$repo/tests" "$repo/bench" "$repo/examples" 2>/dev/null || true)"
+    for allowed in "$@"; do
+        hits="$(printf '%s\n' "$hits" | grep -v "$allowed" || true)"
+    done
     if [ -n "$hits" ]; then
-        echo "deprecated alias '$name' is still referenced outside its definition:" >&2
+        echo "deprecated surface '$label' is still referenced outside its definition:" >&2
         echo "$hits" >&2
         status=1
     fi
 }
 
-check "NegotiationOutcome"
-check "ServiceResponse"
+# Removed aliases: no exemptions — they must not come back.
+check "NegotiationOutcome" "NegotiationOutcome"
+check "ServiceResponse" "ServiceResponse"
+
+# One-PR shims: allowed only where they are defined (and converted).
+check "ServiceRequest" "ServiceRequest" \
+    "src/service/negotiation_service.hpp" \
+    "src/service/negotiation_service.cpp"
+# Legacy multi-argument negotiate()/negotiate_document() calls: anything
+# passing 2+ comma-separated bare arguments. Migrated call sites pass a
+# single make_negotiation_request(...) whose inner parentheses keep this
+# pattern from matching.
+check "negotiate(client, document, ...)" "\bnegotiate(_document)?\([^()]*,[^()]*," \
+    "src/core/qos_manager.hpp" \
+    "src/core/qos_manager.cpp"
 
 if [ "$status" -eq 0 ]; then
-    echo "ok: deprecated aliases appear only at their definition sites"
+    echo "ok: deprecated surface appears only at its definition sites"
 fi
 exit "$status"

@@ -6,14 +6,14 @@
 
 namespace qosnp {
 
-NegotiationResult EnumeratingNegotiator::negotiate(const ClientMachine& client,
-                                                    const DocumentId& document_id,
-                                                    const UserProfile& profile) {
+NegotiationResult EnumeratingNegotiator::negotiate(const NegotiationRequest& request) {
+  const ClientMachine& client = request.client;
+  const UserProfile& profile = request.profile;
   NegotiationResult outcome;
-  auto document = catalog_->find(document_id);
+  auto document = catalog_->find(request.document);
   if (!document) {
     outcome.verdict = NegotiationStatus::kFailedWithoutOffer;
-    outcome.problems.push_back("document '" + document_id + "' not found in the catalog");
+    outcome.problems.push_back("document '" + request.document + "' not found in the catalog");
     return outcome;
   }
   const LocalCheck local = local_negotiation(client, profile.mm);
@@ -86,14 +86,14 @@ void QoSOnlyNegotiator::order_offers(std::vector<SystemOffer>& offers,
             [&](const SystemOffer& a, const SystemOffer& b) { return qos_score(a) > qos_score(b); });
 }
 
-NegotiationResult BasicNegotiator::negotiate(const ClientMachine& client,
-                                              const DocumentId& document_id,
-                                              const UserProfile& profile) {
+NegotiationResult BasicNegotiator::negotiate(const NegotiationRequest& request) {
+  const ClientMachine& client = request.client;
+  const UserProfile& profile = request.profile;
   NegotiationResult outcome;
-  auto document = catalog_->find(document_id);
+  auto document = catalog_->find(request.document);
   if (!document) {
     outcome.verdict = NegotiationStatus::kFailedWithoutOffer;
-    outcome.problems.push_back("document '" + document_id + "' not found in the catalog");
+    outcome.problems.push_back("document '" + request.document + "' not found in the catalog");
     return outcome;
   }
   const LocalCheck local = local_negotiation(client, profile.mm);

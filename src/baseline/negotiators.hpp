@@ -28,8 +28,7 @@ class Negotiator {
  public:
   virtual ~Negotiator() = default;
   virtual std::string_view name() const = 0;
-  virtual NegotiationResult negotiate(const ClientMachine& client, const DocumentId& document,
-                                       const UserProfile& profile) = 0;
+  virtual NegotiationResult negotiate(const NegotiationRequest& request) = 0;
 };
 
 /// The paper's procedure.
@@ -40,9 +39,8 @@ class SmartNegotiator final : public Negotiator {
       : manager_(catalog, farm, transport, std::move(cost_model), std::move(config)) {}
 
   std::string_view name() const override { return "smart"; }
-  NegotiationResult negotiate(const ClientMachine& client, const DocumentId& document,
-                               const UserProfile& profile) override {
-    return manager_.negotiate(client, document, profile);
+  NegotiationResult negotiate(const NegotiationRequest& request) override {
+    return manager_.negotiate(request);
   }
   QoSManager& manager() { return manager_; }
 
@@ -65,8 +63,7 @@ class EnumeratingNegotiator : public Negotiator {
       : catalog_(&catalog), farm_(&farm), transport_(&transport),
         cost_model_(std::move(cost_model)), enumeration_(enumeration), retry_(retry) {}
 
-  NegotiationResult negotiate(const ClientMachine& client, const DocumentId& document,
-                               const UserProfile& profile) override;
+  NegotiationResult negotiate(const NegotiationRequest& request) override;
 
  protected:
   /// Order the enumerated offers; the first committable one wins.
@@ -107,8 +104,7 @@ class BasicNegotiator final : public Negotiator {
         cost_model_(std::move(cost_model)), retry_(retry) {}
 
   std::string_view name() const override { return "basic"; }
-  NegotiationResult negotiate(const ClientMachine& client, const DocumentId& document,
-                               const UserProfile& profile) override;
+  NegotiationResult negotiate(const NegotiationRequest& request) override;
 
  private:
   Catalog* catalog_;

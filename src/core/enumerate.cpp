@@ -155,25 +155,39 @@ OfferList enumerate_offers(const FeasibleSet& feasible, const MMProfile& profile
 // Lazy best-first stream.
 // ---------------------------------------------------------------------------
 
-namespace {
+/// The shared, immutable Steps 3-4 precomputation behind OfferStream: the
+/// per-variant memos (SNS grading, OIF contributions, stream charges) and the
+/// pre-sorted per-class index lists. Built once per (feasible set, profile,
+/// importance, cost model, policy) tuple and read-only afterwards, so any
+/// number of concurrent streams — including ones replayed from the plan
+/// cache — can share one seed without synchronisation.
+class OfferStreamSeed {
+ public:
+  /// Everything the stream needs to score or materialise one variant,
+  /// computed once per variant so classification work is shared across every
+  /// offer the variant appears in.
+  struct VariantMemo {
+    const Variant* variant = nullptr;
+    StreamRequirements requirements;
+    Money charge;             ///< network + server charge of this stream alone
+    double importance = 0.0;  ///< qos_importance(variant->qos)
+    bool add_bonus = false;   ///< preferred-server bonus applies
+    bool desired_ok = false;  ///< satisfied_by the desired per-medium QoS
+    bool worst_ok = false;    ///< tolerated (meets the worst acceptable QoS)
+    double order_weight = 0.0;  ///< separable OIF contribution, for list order
+  };
 
-/// Everything the stream needs to score or materialise one variant, computed
-/// once per variant so classification work is shared across every offer the
-/// variant appears in.
-struct VariantMemo {
-  const Variant* variant = nullptr;
-  StreamRequirements requirements;
-  Money charge;             ///< network + server charge of this stream alone
-  double importance = 0.0;  ///< qos_importance(variant->qos)
-  bool add_bonus = false;   ///< preferred-server bonus applies
-  bool desired_ok = false;  ///< satisfied_by the desired per-medium QoS
-  bool worst_ok = false;    ///< tolerated (meets the worst acceptable QoS)
-  double order_weight = 0.0;  ///< separable OIF contribution, for list order
-};
+  OfferStreamSeed(FeasibleSet fs, MMProfile prof, ImportanceProfile imp, CostModel cm,
+                  ClassificationPolicy pol)
+      : feasible(std::move(fs)), profile(std::move(prof)), importance(std::move(imp)),
+        cost_model(std::move(cm)), policy(pol) {
+    n = feasible.monomedia.size();
+    total = feasible.combination_count();
+    cost_only = policy.sns_rule == ClassificationPolicy::SnsRule::kImportanceWeighted &&
+                importance.cost_per_dollar > 0.0 && !qos_matters(profile, importance);
+    build_memo();
+  }
 
-}  // namespace
-
-struct OfferStream::Impl {
   FeasibleSet feasible;
   MMProfile profile;
   ImportanceProfile importance;
@@ -185,9 +199,6 @@ struct OfferStream::Impl {
   /// assigns zero importance to all QoS characteristics, nonzero to cost).
   bool cost_only = false;
   std::size_t total = 0;
-  std::size_t emit_cap = 0;
-  std::size_t emitted = 0;
-  std::size_t generated = 0;
 
   std::vector<std::vector<VariantMemo>> memo;  ///< [position][feasible index]
 
@@ -195,7 +206,113 @@ struct OfferStream::Impl {
   // variant's separable OIF contribution. D = desired (and tolerated),
   // A = tolerated but not desired, T = tolerated, F = all feasible,
   // V = violating (not tolerated).
-  std::vector<std::vector<std::uint32_t>> desired_, accept_only_, tolerated_, all_, violating_;
+  std::vector<std::vector<std::uint32_t>> desired, accept_only, tolerated, all, violating;
+
+ private:
+  void build_memo();
+  void grade(const Variant& v, VariantMemo& m) const;
+};
+
+std::shared_ptr<const OfferStreamSeed> make_offer_stream_seed(FeasibleSet feasible,
+                                                              MMProfile profile,
+                                                              ImportanceProfile importance,
+                                                              CostModel cost_model,
+                                                              ClassificationPolicy policy) {
+  return std::make_shared<const OfferStreamSeed>(std::move(feasible), std::move(profile),
+                                                 std::move(importance), std::move(cost_model),
+                                                 policy);
+}
+
+std::size_t seed_total_combinations(const OfferStreamSeed& seed) { return seed.total; }
+
+void OfferStreamSeed::build_memo() {
+  memo.resize(n);
+  desired.resize(n);
+  accept_only.resize(n);
+  tolerated.resize(n);
+  all.resize(n);
+  violating.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& variants = feasible.variants[i];
+    memo[i].reserve(variants.size());
+    for (const Variant* v : variants) {
+      VariantMemo m;
+      m.variant = v;
+      m.requirements = map_variant(*v, feasible.monomedia[i]->duration_s, profile.time);
+      m.charge = cost_model.stream_network_cost(m.requirements) +
+                 cost_model.stream_server_cost(m.requirements);
+      m.importance = importance.qos_importance(v->qos);
+      m.add_bonus = importance.server_bonus != 0.0 && importance.prefers_server(v->server);
+      grade(*v, m);
+      m.order_weight = m.importance + (m.add_bonus ? importance.server_bonus : 0.0) -
+                       importance.cost_importance(m.charge);
+      memo[i].push_back(std::move(m));
+    }
+    auto better_variant = [this, i](std::uint32_t a, std::uint32_t b) {
+      const VariantMemo& ma = memo[i][a];
+      const VariantMemo& mb = memo[i][b];
+      if (ma.order_weight != mb.order_weight) return ma.order_weight > mb.order_weight;
+      if (ma.charge != mb.charge) return ma.charge < mb.charge;
+      return ma.variant->id < mb.variant->id;
+    };
+    for (std::uint32_t j = 0; j < memo[i].size(); ++j) {
+      const VariantMemo& m = memo[i][j];
+      all[i].push_back(j);
+      if (m.worst_ok) {
+        tolerated[i].push_back(j);
+        if (m.desired_ok) {
+          desired[i].push_back(j);
+        } else {
+          accept_only[i].push_back(j);
+        }
+      } else {
+        violating[i].push_back(j);
+      }
+    }
+    std::sort(desired[i].begin(), desired[i].end(), better_variant);
+    std::sort(accept_only[i].begin(), accept_only[i].end(), better_variant);
+    std::sort(tolerated[i].begin(), tolerated[i].end(), better_variant);
+    std::sort(all[i].begin(), all[i].end(), better_variant);
+    std::sort(violating[i].begin(), violating[i].end(), better_variant);
+  }
+}
+
+/// Same per-medium predicates qos_satisfaction() applies: an absent
+/// per-medium profile constrains nothing (counts as satisfied).
+void OfferStreamSeed::grade(const Variant& v, VariantMemo& m) const {
+  std::visit(
+        [&](const auto& q) {
+          using T = std::decay_t<decltype(q)>;
+          if constexpr (std::is_same_v<T, VideoQoS>) {
+            m.desired_ok = !profile.video || profile.video->satisfied_by(q);
+            m.worst_ok = !profile.video || profile.video->tolerates(q);
+          } else if constexpr (std::is_same_v<T, AudioQoS>) {
+            m.desired_ok = !profile.audio || profile.audio->satisfied_by(q);
+            m.worst_ok = !profile.audio || profile.audio->tolerates(q);
+          } else if constexpr (std::is_same_v<T, TextQoS>) {
+            m.desired_ok = !profile.text || profile.text->satisfied_by(q);
+            m.worst_ok = !profile.text || profile.text->tolerates(q);
+          } else {
+            m.desired_ok = !profile.image || profile.image->satisfied_by(q);
+            m.worst_ok = !profile.image || profile.image->tolerates(q);
+          }
+          // A desired-satisfying variant below the worst-acceptable floor
+          // (ill-formed profile) grades CONSTRAINT, exactly like compute_sns.
+          m.desired_ok = m.desired_ok && m.worst_ok;
+        },
+        v.qos);
+}
+
+struct OfferStream::Impl {
+  using VariantMemo = OfferStreamSeed::VariantMemo;
+
+  /// The shared precomputation — read-only here; all mutable state below is
+  /// private to this cursor.
+  std::shared_ptr<const OfferStreamSeed> seed;
+
+  std::size_t emit_cap = 0;
+  std::size_t emitted = 0;
+  std::size_t generated = 0;
 
   /// One frontier state of a product cursor: the per-position ranks into the
   /// cursor's lists plus the offer's *exact* final key, computed with the
@@ -227,99 +344,13 @@ struct OfferStream::Impl {
   std::vector<ClassStream> classes;
   std::size_t current_class = 0;
 
-  Impl(FeasibleSet fs, MMProfile prof, ImportanceProfile imp, CostModel cm,
-       ClassificationPolicy pol, std::size_t max_offers)
-      : feasible(std::move(fs)), profile(std::move(prof)), importance(std::move(imp)),
-        cost_model(std::move(cm)), policy(pol) {
-    n = feasible.monomedia.size();
-    total = feasible.combination_count();
-    emit_cap = std::min(total, max_offers);
-    if (emit_cap < total) {
-      QOSNP_LOG_WARN("enumerate", "offer space of ", total, " combinations truncated to ",
+  Impl(std::shared_ptr<const OfferStreamSeed> s, std::size_t max_offers) : seed(std::move(s)) {
+    emit_cap = std::min(seed->total, max_offers);
+    if (emit_cap < seed->total) {
+      QOSNP_LOG_WARN("enumerate", "offer space of ", seed->total, " combinations truncated to ",
                      emit_cap, " (best-first: the cap keeps the best offers)");
     }
-    cost_only = policy.sns_rule == ClassificationPolicy::SnsRule::kImportanceWeighted &&
-                importance.cost_per_dollar > 0.0 && !qos_matters(profile, importance);
-    build_memo();
     build_classes();
-  }
-
-  void build_memo() {
-    memo.resize(n);
-    desired_.resize(n);
-    accept_only_.resize(n);
-    tolerated_.resize(n);
-    all_.resize(n);
-    violating_.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto& variants = feasible.variants[i];
-      memo[i].reserve(variants.size());
-      for (const Variant* v : variants) {
-        VariantMemo m;
-        m.variant = v;
-        m.requirements = map_variant(*v, feasible.monomedia[i]->duration_s, profile.time);
-        m.charge = cost_model.stream_network_cost(m.requirements) +
-                   cost_model.stream_server_cost(m.requirements);
-        m.importance = importance.qos_importance(v->qos);
-        m.add_bonus = importance.server_bonus != 0.0 && importance.prefers_server(v->server);
-        grade(*v, m);
-        m.order_weight = m.importance + (m.add_bonus ? importance.server_bonus : 0.0) -
-                         importance.cost_importance(m.charge);
-        memo[i].push_back(std::move(m));
-      }
-      auto better_variant = [this, i](std::uint32_t a, std::uint32_t b) {
-        const VariantMemo& ma = memo[i][a];
-        const VariantMemo& mb = memo[i][b];
-        if (ma.order_weight != mb.order_weight) return ma.order_weight > mb.order_weight;
-        if (ma.charge != mb.charge) return ma.charge < mb.charge;
-        return ma.variant->id < mb.variant->id;
-      };
-      for (std::uint32_t j = 0; j < memo[i].size(); ++j) {
-        const VariantMemo& m = memo[i][j];
-        all_[i].push_back(j);
-        if (m.worst_ok) {
-          tolerated_[i].push_back(j);
-          if (m.desired_ok) {
-            desired_[i].push_back(j);
-          } else {
-            accept_only_[i].push_back(j);
-          }
-        } else {
-          violating_[i].push_back(j);
-        }
-      }
-      std::sort(desired_[i].begin(), desired_[i].end(), better_variant);
-      std::sort(accept_only_[i].begin(), accept_only_[i].end(), better_variant);
-      std::sort(tolerated_[i].begin(), tolerated_[i].end(), better_variant);
-      std::sort(all_[i].begin(), all_[i].end(), better_variant);
-      std::sort(violating_[i].begin(), violating_[i].end(), better_variant);
-    }
-  }
-
-  /// Same per-medium predicates qos_satisfaction() applies: an absent
-  /// per-medium profile constrains nothing (counts as satisfied).
-  void grade(const Variant& v, VariantMemo& m) const {
-    std::visit(
-        [&](const auto& q) {
-          using T = std::decay_t<decltype(q)>;
-          if constexpr (std::is_same_v<T, VideoQoS>) {
-            m.desired_ok = !profile.video || profile.video->satisfied_by(q);
-            m.worst_ok = !profile.video || profile.video->tolerates(q);
-          } else if constexpr (std::is_same_v<T, AudioQoS>) {
-            m.desired_ok = !profile.audio || profile.audio->satisfied_by(q);
-            m.worst_ok = !profile.audio || profile.audio->tolerates(q);
-          } else if constexpr (std::is_same_v<T, TextQoS>) {
-            m.desired_ok = !profile.text || profile.text->satisfied_by(q);
-            m.worst_ok = !profile.text || profile.text->tolerates(q);
-          } else {
-            m.desired_ok = !profile.image || profile.image->satisfied_by(q);
-            m.worst_ok = !profile.image || profile.image->tolerates(q);
-          }
-          // A desired-satisfying variant below the worst-acceptable floor
-          // (ill-formed profile) grades CONSTRAINT, exactly like compute_sns.
-          m.desired_ok = m.desired_ok && m.worst_ok;
-        },
-        v.qos);
   }
 
   /// Each SNS class is a disjoint union of product sub-spaces, keyed by the
@@ -332,45 +363,47 @@ struct OfferStream::Impl {
   /// the rest. Under oif_only the SNS is ignored by the order, so a single
   /// full product is walked and the SNS computed per offer.
   void build_classes() {
-    if (total == 0) return;
-    auto product = [this](const std::vector<std::vector<std::uint32_t>>& lists, Filter f) {
+    const std::size_t n = seed->n;
+    if (seed->total == 0) return;
+    auto product = [this, n](const std::vector<std::vector<std::uint32_t>>& lists, Filter f) {
       Cursor c;
       c.filter = f;
       c.lists.reserve(n);
       for (std::size_t i = 0; i < n; ++i) c.lists.push_back(&lists[i]);
       return c;
     };
-    if (policy.oif_only) {
+    if (seed->policy.oif_only) {
       ClassStream s;
       s.sns_per_offer = true;
-      s.cursors.push_back(product(all_, Filter::kNone));
+      s.cursors.push_back(product(seed->all, Filter::kNone));
       classes.push_back(std::move(s));
       return;
     }
-    if (cost_only) {
+    if (seed->cost_only) {
       ClassStream d;
       d.sns = Sns::kDesirable;
-      d.cursors.push_back(product(all_, Filter::kCostWithin));
+      d.cursors.push_back(product(seed->all, Filter::kCostWithin));
       classes.push_back(std::move(d));
       ClassStream c;
       c.sns = Sns::kConstraint;
-      c.cursors.push_back(product(all_, Filter::kCostOver));
+      c.cursors.push_back(product(seed->all, Filter::kCostOver));
       classes.push_back(std::move(c));
       return;
     }
     ClassStream desirable;
     desirable.sns = Sns::kDesirable;
-    desirable.cursors.push_back(product(desired_, Filter::kCostWithin));
+    desirable.cursors.push_back(product(seed->desired, Filter::kCostWithin));
     classes.push_back(std::move(desirable));
 
     ClassStream acceptable;
     acceptable.sns = Sns::kAcceptable;
-    acceptable.cursors.push_back(product(desired_, Filter::kCostOver));
+    acceptable.cursors.push_back(product(seed->desired, Filter::kCostOver));
     for (std::size_t j = 0; j < n; ++j) {
       Cursor c;
       c.lists.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
-        c.lists.push_back(i < j ? &desired_[i] : i == j ? &accept_only_[i] : &tolerated_[i]);
+        c.lists.push_back(i < j ? &seed->desired[i]
+                                : i == j ? &seed->accept_only[i] : &seed->tolerated[i]);
       }
       acceptable.cursors.push_back(std::move(c));
     }
@@ -382,7 +415,8 @@ struct OfferStream::Impl {
       Cursor c;
       c.lists.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
-        c.lists.push_back(i < j ? &tolerated_[i] : i == j ? &violating_[i] : &all_[i]);
+        c.lists.push_back(i < j ? &seed->tolerated[i]
+                                : i == j ? &seed->violating[i] : &seed->all[i]);
       }
       constraint.cursors.push_back(std::move(c));
     }
@@ -390,7 +424,7 @@ struct OfferStream::Impl {
   }
 
   const VariantMemo& memo_at(const Cursor& c, const Node& node, std::size_t i) const {
-    return memo[i][(*c.lists[i])[node.ranks[i]]];
+    return seed->memo[i][(*c.lists[i])[node.ranks[i]]];
   }
 
   /// Score a frontier state with the offer's exact final key: the OIF is
@@ -402,15 +436,15 @@ struct OfferStream::Impl {
     Node node;
     node.ranks = std::move(ranks);
     double qos_sum = 0.0;
-    Money cost = feasible.document->copyright_cost;
-    for (std::size_t i = 0; i < n; ++i) {
-      const VariantMemo& m = memo[i][(*c.lists[i])[node.ranks[i]]];
+    Money cost = seed->feasible.document->copyright_cost;
+    for (std::size_t i = 0; i < seed->n; ++i) {
+      const VariantMemo& m = seed->memo[i][(*c.lists[i])[node.ranks[i]]];
       qos_sum += m.importance;
-      if (m.add_bonus) qos_sum += importance.server_bonus;
+      if (m.add_bonus) qos_sum += seed->importance.server_bonus;
       cost += m.charge;
     }
     node.cost = cost;
-    node.oif = qos_sum - importance.cost_importance(cost);
+    node.oif = qos_sum - seed->importance.cost_importance(cost);
     ++generated;
     return node;
   }
@@ -421,7 +455,7 @@ struct OfferStream::Impl {
   bool node_better(const Cursor& ca, const Node& a, const Cursor& cb, const Node& b) const {
     if (a.oif != b.oif) return a.oif > b.oif;
     if (a.cost != b.cost) return a.cost < b.cost;
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = 0; i < seed->n; ++i) {
       const auto& ida = memo_at(ca, a, i).variant->id;
       const auto& idb = memo_at(cb, b, i).variant->id;
       if (ida != idb) return ida < idb;
@@ -451,13 +485,13 @@ struct OfferStream::Impl {
   /// every state exactly once — no visited-set needed.
   void expand(Cursor& c, const Node& node) {
     std::size_t tail = 0;
-    for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t i = seed->n; i-- > 0;) {
       if (node.ranks[i] > 0) {
         tail = i;
         break;
       }
     }
-    for (std::size_t j = tail; j < n; ++j) {
+    for (std::size_t j = tail; j < seed->n; ++j) {
       if (node.ranks[j] + 1 < c.lists[j]->size()) {
         std::vector<std::uint32_t> next = node.ranks;
         ++next[j];
@@ -469,8 +503,8 @@ struct OfferStream::Impl {
   bool passes(const Cursor& c, const Node& node) const {
     switch (c.filter) {
       case Filter::kNone: return true;
-      case Filter::kCostWithin: return node.cost <= profile.cost.max_cost;
-      case Filter::kCostOver: return node.cost > profile.cost.max_cost;
+      case Filter::kCostWithin: return node.cost <= seed->profile.cost.max_cost;
+      case Filter::kCostOver: return node.cost > seed->profile.cost.max_cost;
     }
     return true;
   }
@@ -482,7 +516,7 @@ struct OfferStream::Impl {
       c.seeded = true;
       bool empty = false;
       for (const auto* list : c.lists) empty = empty || list->empty();
-      if (!empty) heap_push(c, make_node(c, std::vector<std::uint32_t>(n, 0)));
+      if (!empty) heap_push(c, make_node(c, std::vector<std::uint32_t>(seed->n, 0)));
     }
     while (!c.staged && !c.heap.empty()) {
       Node node = heap_pop(c);
@@ -493,6 +527,7 @@ struct OfferStream::Impl {
   }
 
   SystemOffer materialise(const Cursor& c, const Node& node, const ClassStream& cls) {
+    const std::size_t n = seed->n;
     SystemOffer offer;
     offer.components.reserve(n);
     std::vector<StreamRequirements> streams;
@@ -502,7 +537,7 @@ struct OfferStream::Impl {
     for (std::size_t i = 0; i < n; ++i) {
       const VariantMemo& m = memo_at(c, node, i);
       OfferComponent component;
-      component.monomedia = feasible.monomedia[i];
+      component.monomedia = seed->feasible.monomedia[i];
       component.variant = m.variant;
       component.requirements = m.requirements;
       streams.push_back(component.requirements);
@@ -510,11 +545,11 @@ struct OfferStream::Impl {
       all_desired = all_desired && m.desired_ok;
       all_worst = all_worst && m.worst_ok;
     }
-    offer.cost = cost_model.document_cost(feasible.document->copyright_cost, streams);
+    offer.cost = seed->cost_model.document_cost(seed->feasible.document->copyright_cost, streams);
     offer.oif = node.oif;
     if (cls.sns_per_offer) {
-      const bool cost_within = node.cost <= profile.cost.max_cost;
-      if (cost_only) {
+      const bool cost_within = node.cost <= seed->profile.cost.max_cost;
+      if (seed->cost_only) {
         offer.sns = cost_within ? Sns::kDesirable : Sns::kConstraint;
       } else if (!all_worst) {
         offer.sns = Sns::kConstraint;
@@ -558,14 +593,18 @@ struct OfferStream::Impl {
 OfferStream::OfferStream(FeasibleSet feasible, MMProfile profile, ImportanceProfile importance,
                          CostModel cost_model, ClassificationPolicy policy,
                          std::size_t max_offers)
-    : impl_(std::make_unique<Impl>(std::move(feasible), std::move(profile),
-                                   std::move(importance), std::move(cost_model), policy,
-                                   max_offers)) {}
+    : impl_(std::make_unique<Impl>(
+          make_offer_stream_seed(std::move(feasible), std::move(profile), std::move(importance),
+                                 std::move(cost_model), policy),
+          max_offers)) {}
+
+OfferStream::OfferStream(std::shared_ptr<const OfferStreamSeed> seed, std::size_t max_offers)
+    : impl_(std::make_unique<Impl>(std::move(seed), max_offers)) {}
 
 OfferStream::~OfferStream() = default;
 
 std::optional<SystemOffer> OfferStream::next() { return impl_->next(); }
-std::size_t OfferStream::total_combinations() const { return impl_->total; }
+std::size_t OfferStream::total_combinations() const { return impl_->seed->total; }
 std::size_t OfferStream::emit_limit() const { return impl_->emit_cap; }
 std::size_t OfferStream::yielded() const { return impl_->emitted; }
 bool OfferStream::exhausted() const { return impl_->emitted >= impl_->emit_cap; }

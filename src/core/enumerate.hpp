@@ -83,6 +83,28 @@ std::size_t prune_dominated_variants(FeasibleSet& feasible);
 OfferList enumerate_offers(const FeasibleSet& feasible, const MMProfile& profile,
                            const CostModel& cost_model, EnumerationConfig config = {});
 
+/// The immutable Steps 3-4 precomputation behind OfferStream: memoised
+/// per-variant SNS/OIF contributions and the pre-sorted per-class variant
+/// lists. Building it is the expensive part of starting a stream; walking it
+/// is cheap per-request cursor state. The seed depends only on (feasible
+/// set, profile, importance, cost model, policy) — never on server or
+/// transport state — so one seed can be shared, read-only and thread-safe,
+/// by any number of concurrent streams (the cross-request plan cache stores
+/// exactly this object). Opaque: defined in enumerate.cpp.
+class OfferStreamSeed;
+
+/// Build a shareable stream seed. Every OfferStream spawned from the same
+/// seed yields the same offers in the same order (bit-identical).
+std::shared_ptr<const OfferStreamSeed> make_offer_stream_seed(FeasibleSet feasible,
+                                                              MMProfile profile,
+                                                              ImportanceProfile importance,
+                                                              CostModel cost_model,
+                                                              ClassificationPolicy policy);
+
+/// Cartesian-product size of the seed's feasible sets (saturating, like
+/// FeasibleSet::combination_count()).
+std::size_t seed_total_combinations(const OfferStreamSeed& seed);
+
 /// Lazy best-first generator over the offer space (Steps 3+4 fused into the
 /// enumeration): next() yields system offers with sns/oif already filled, in
 /// exactly the classification order of classify_offers — SNS ascending, then
@@ -102,6 +124,9 @@ class OfferStream {
  public:
   OfferStream(FeasibleSet feasible, MMProfile profile, ImportanceProfile importance,
               CostModel cost_model, ClassificationPolicy policy, std::size_t max_offers);
+  /// Spawn a fresh cursor over a shared (possibly cached) seed: all the
+  /// memoisation is reused, only the frontier heaps are rebuilt.
+  OfferStream(std::shared_ptr<const OfferStreamSeed> seed, std::size_t max_offers);
   ~OfferStream();
   OfferStream(const OfferStream&) = delete;
   OfferStream& operator=(const OfferStream&) = delete;

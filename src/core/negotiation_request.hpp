@@ -1,0 +1,82 @@
+// The single request value type of the negotiation entry points: one
+// NegotiationRequest is the one argument of both QoSManager::negotiate and
+// NegotiationService::submit, replacing their previously divergent parameter
+// lists. It bundles who is asking (client), for what (document reference —
+// by catalog id or already resolved), on which terms (user profile, deadline,
+// degraded-acceptance), and the cross-cutting concerns (trace context, plan
+// cache policy).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "client/client_machine.hpp"
+#include "document/model.hpp"
+#include "obs/trace.hpp"
+#include "profile/profiles.hpp"
+
+namespace qosnp {
+
+/// Per-request plan-cache policy.
+enum class CacheUse : std::uint8_t {
+  kDefault,  ///< use the manager's cache when one is configured
+  kBypass,   ///< compute fresh, do not read or write the cache
+  kRefresh,  ///< compute fresh and overwrite the cached plan
+};
+
+struct NegotiationRequest {
+  /// Caller-chosen id, stamped on the result and its trace (0 = unassigned;
+  /// the service keeps whatever the submitter set).
+  std::uint64_t id = 0;
+
+  ClientMachine client;
+
+  /// The requested document, by catalog id. Ignored when `resolved` is set.
+  DocumentId document;
+  /// An already-resolved document (renegotiation: the session holds the
+  /// reference even if the catalog entry was replaced meanwhile). A resolved
+  /// request never touches the catalog or the plan cache.
+  std::shared_ptr<const MultimediaDocument> resolved;
+
+  UserProfile profile;
+
+  /// Service-side deadline override in milliseconds (0 = use the service
+  /// default). Ignored by direct QoSManager::negotiate calls.
+  double deadline_ms = 0.0;
+
+  /// Whether the submitter will keep a session whose committed offer does
+  /// not satisfy the requested QoS (FAILEDWITHOFFER). Service-side only.
+  bool accept_degraded = true;
+
+  CacheUse cache = CacheUse::kDefault;
+
+  /// Active context records one span per executed stage on its trace. The
+  /// service replaces this with its own per-request trace.
+  TraceContext trace;
+};
+
+/// Convenience builders for the common call shapes.
+inline NegotiationRequest make_negotiation_request(ClientMachine client, DocumentId document,
+                                                   UserProfile profile, TraceContext trace = {}) {
+  NegotiationRequest request;
+  request.client = std::move(client);
+  request.document = std::move(document);
+  request.profile = std::move(profile);
+  request.trace = trace;
+  return request;
+}
+
+inline NegotiationRequest make_negotiation_request(
+    ClientMachine client, std::shared_ptr<const MultimediaDocument> resolved, UserProfile profile,
+    TraceContext trace = {}) {
+  NegotiationRequest request;
+  request.client = std::move(client);
+  if (resolved) request.document = resolved->id;
+  request.resolved = std::move(resolved);
+  request.profile = std::move(profile);
+  request.trace = trace;
+  return request;
+}
+
+}  // namespace qosnp

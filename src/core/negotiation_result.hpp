@@ -4,8 +4,8 @@
 // the front-end fields on top (request id, shed reason, session id, queue
 // and total latency, worker index, trace handle) and returns the same type
 // — callers no longer stitch a manager outcome and a service response
-// together. The pre-redesign names NegotiationOutcome / ServiceResponse
-// remain as deprecated aliases for one PR (see scripts/check_no_deprecated.sh).
+// together. The pre-redesign per-layer result names are gone;
+// scripts/check_no_deprecated.sh keeps them from creeping back.
 #pragma once
 
 #include <cstddef>
@@ -64,9 +64,5 @@ struct NegotiationResult {
 
   bool has_commitment() const { return committed_index != SIZE_MAX; }
 };
-
-/// Deprecated pre-redesign name for the manager-level result; will be
-/// removed next PR. New code names the unified type directly.
-using NegotiationOutcome [[deprecated("use NegotiationResult")]] = NegotiationResult;
 
 }  // namespace qosnp

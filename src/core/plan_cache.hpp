@@ -1,0 +1,188 @@
+// Cross-request negotiation plan cache. Steps 1-4 of the paper's procedure
+// (local check, compatibility filtering, classification-parameter
+// computation, offer ordering) depend only on the document, the client
+// capabilities and the user profile — never on server or transport state —
+// so their outcome can be computed once and replayed for every later request
+// with the same (document, client, profile) fingerprint. Step 5 (resource
+// commitment) depends on live resources and always runs per request.
+//
+// A cached NegotiationPlan holds the Step 1-4 outcome: the terminal
+// local-check/compatibility verdict when those steps failed, or the
+// surviving variant sets plus either the shared OfferStream seed (memoised
+// per-variant SNS/OIF contributions and pre-sorted class lists; a replay
+// spawns a fresh cursor over it) or the eager classified offer-list
+// prototype. Invalidation is epoch-based: the plan remembers the Catalog
+// epoch its document was stored at, and a lookup whose current epoch
+// differs drops the entry (counted as stale).
+//
+// The cache is sharded-LRU: keys hash to a shard, each shard is an
+// independent mutex + LRU list, so concurrent service workers contend only
+// when they hit the same shard. Counters are internal atomics, optionally
+// mirrored into a MetricsRegistry (qosnp_plan_cache_{hits,misses,evictions,
+// stale}) via bind_metrics().
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "client/client_machine.hpp"
+#include "core/classify.hpp"
+#include "core/enumerate.hpp"
+#include "core/offer.hpp"
+#include "cost/cost_model.hpp"
+#include "document/model.hpp"
+#include "obs/metrics.hpp"
+#include "profile/profiles.hpp"
+
+namespace qosnp {
+
+/// Plan-cache sizing. Validated through the same require_config path as
+/// ServiceConfig — a zero-shard or zero-capacity cache throws
+/// std::invalid_argument at construction instead of dividing by zero at
+/// lookup.
+struct CachePolicy {
+  /// Independent LRU shards (each its own mutex); keys hash to a shard.
+  std::size_t shards = 8;
+  /// Total cached plans across all shards (each shard holds its share,
+  /// rounded up, and evicts least-recently-used beyond it).
+  std::size_t capacity = 1024;
+
+  /// Throws std::invalid_argument when unusable (zero shards or capacity).
+  static CachePolicy validated(CachePolicy policy);
+};
+
+/// Monotone counters of one cache's lifetime. Conservation law:
+/// lookups == hits + misses, and every stale drop also counts as a miss
+/// (stale <= misses).
+struct PlanCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stale = 0;  ///< dropped on lookup because the epoch moved
+  std::uint64_t evictions = 0;
+  std::uint64_t stores = 0;
+};
+
+/// The cached Step 1-4 outcome for one (document, client, profile,
+/// manager-config) fingerprint. Immutable once stored; shared read-only by
+/// every replaying request.
+struct NegotiationPlan {
+  std::shared_ptr<const MultimediaDocument> document;
+  /// Catalog epoch the document was stored at when this plan was built; a
+  /// differing epoch at lookup time invalidates the plan.
+  std::uint64_t document_epoch = 0;
+
+  /// Steps 1-2 failed: verdict/problems/user_offer replay verbatim and the
+  /// commit walk never runs.
+  bool terminal = false;
+  NegotiationStatus verdict = NegotiationStatus::kFailedWithoutOffer;
+  std::vector<std::string> problems;
+  std::optional<UserOffer> user_offer;
+
+  /// Surviving (post-prune) per-monomedia variant sets of Step 2.
+  FeasibleSet feasible;
+  /// kBestFirst: the shared stream seed; a replay spawns a fresh cursor.
+  std::shared_ptr<const OfferStreamSeed> seed;
+  /// kEager: the fully classified offer-list prototype. A cache replay
+  /// copies it; an uncached negotiation owns its plan exclusively and moves
+  /// it out instead (hence not pointer-to-const).
+  std::shared_ptr<OfferList> eager;
+};
+
+class NegotiationPlanCache {
+ public:
+  explicit NegotiationPlanCache(CachePolicy policy = {});
+
+  NegotiationPlanCache(const NegotiationPlanCache&) = delete;
+  NegotiationPlanCache& operator=(const NegotiationPlanCache&) = delete;
+
+  /// Look up the plan under `key`, valid for the document epoch `epoch`.
+  /// A stored plan whose epoch differs is dropped (counted stale + miss).
+  std::shared_ptr<const NegotiationPlan> lookup(const std::string& key, std::uint64_t epoch);
+
+  /// Insert (or replace) the plan under `key`; evicts the shard's
+  /// least-recently-used entry beyond its capacity share.
+  void store(const std::string& key, std::shared_ptr<const NegotiationPlan> plan);
+
+  /// Drop every cached plan (counters keep their values).
+  void clear();
+
+  std::size_t size() const;
+  const CachePolicy& policy() const { return policy_; }
+  PlanCacheStats stats() const;
+
+  /// Mirror the counters into `metrics` as qosnp_plan_cache_{hits,misses,
+  /// evictions,stale}: the current totals are added at bind time and every
+  /// later increment is forwarded, so registry and internal counters agree.
+  /// Re-binding the same registry is a no-op; binding a new registry moves
+  /// the mirror (last bind wins).
+  void bind_metrics(MetricsRegistry& metrics);
+
+ private:
+  struct Entry {
+    std::string key;
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const NegotiationPlan> plan;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    /// Views into the stable Entry::key strings of `lru`.
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+  };
+
+  Shard& shard_for(const std::string& key);
+  void bump(std::atomic<std::uint64_t>& internal, std::atomic<Counter*>& bound,
+            std::uint64_t delta = 1);
+
+  CachePolicy policy_;
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> lookups_{0}, hits_{0}, misses_{0}, stale_{0}, evictions_{0},
+      stores_{0};
+
+  std::mutex bind_mu_;
+  MetricsRegistry* bound_registry_ = nullptr;  ///< guarded by bind_mu_
+  std::atomic<Counter*> hits_metric_{nullptr};
+  std::atomic<Counter*> misses_metric_{nullptr};
+  std::atomic<Counter*> evictions_metric_{nullptr};
+  std::atomic<Counter*> stale_metric_{nullptr};
+};
+
+/// Canonical fingerprint of the manager-side knobs that shape a plan:
+/// enumeration config, classification policy, parallel threshold and the
+/// cost model (tables + discount). Computed once per QoSManager so a cache
+/// shared between differently-configured managers can never alias plans.
+std::string plan_config_digest(const EnumerationConfig& enumeration,
+                               const ClassificationPolicy& policy,
+                               std::size_t parallel_threshold, const CostModel& cost_model);
+
+/// Canonical fingerprint of a document's id and full variant set —
+/// everything Steps 1-4 read from it. Depends only on the (immutable)
+/// document, so QoSManager memoises it per catalog epoch instead of
+/// re-serialising hundreds of variants on every hot-document request.
+std::string document_fingerprint(const MultimediaDocument& document);
+
+/// Canonical cache key of one request: the document's id and full variant
+/// set, the client's capabilities, the user profile (MM + importance — the
+/// profile *name* is deliberately excluded: it does not influence any step)
+/// and the manager's config digest. Strings are length-prefixed and numbers
+/// fixed-width (doubles bit-cast), so distinct inputs produce distinct keys
+/// by construction.
+std::string plan_cache_key(const MultimediaDocument& document, const ClientMachine& client,
+                           const UserProfile& profile, const std::string& config_digest);
+/// Same key, from a precomputed document_fingerprint().
+std::string plan_cache_key(const std::string& document_fp, const ClientMachine& client,
+                           const UserProfile& profile, const std::string& config_digest);
+
+}  // namespace qosnp

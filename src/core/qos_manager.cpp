@@ -10,7 +10,9 @@ namespace qosnp {
 QoSManager::QoSManager(Catalog& catalog, ServerProvider& farm, TransportProvider& transport,
                        CostModel cost_model, NegotiationConfig config)
     : catalog_(&catalog), farm_(&farm), transport_(&transport),
-      cost_model_(std::move(cost_model)), config_(std::move(config)) {}
+      cost_model_(std::move(cost_model)), config_(std::move(config)),
+      plan_digest_(plan_config_digest(config_.enumeration, config_.policy,
+                                      config_.parallel_threshold, cost_model_)) {}
 
 UserOffer local_offer_from(const MMProfile& clipped) {
   UserOffer offer;
@@ -75,11 +77,19 @@ CommitAttempt QoSManager::commit_first(const ClientMachine& client, OfferList& o
   return attempt;
 }
 
-NegotiationResult QoSManager::negotiate(const ClientMachine& client,
-                                        const DocumentId& document_id,
-                                        const UserProfile& profile, TraceContext trace) {
-  auto document = catalog_->find(document_id);
-  if (!document) {
+NegotiationResult QoSManager::negotiate(const NegotiationRequest& request) {
+  const TraceContext trace = request.trace;
+
+  // Resolved documents (renegotiation) skip the catalog and the plan cache:
+  // the session's reference may no longer match any catalog entry, so no
+  // epoch can vouch for a cached plan.
+  if (request.resolved) {
+    auto plan = build_plan(request.client, request.resolved, request.profile, trace);
+    return run_plan(request, *plan, trace, /*exclusive=*/true);
+  }
+
+  const Catalog::Entry entry = catalog_->find_entry(request.document);
+  if (!entry.document) {
     NegotiationResult result;
     // The catalog miss is a Step-2 failure (the document cannot be checked
     // against anything); give the trace its compatibility span so every
@@ -87,22 +97,55 @@ NegotiationResult QoSManager::negotiate(const ClientMachine& client,
     ScopedSpan span(trace, Stage::kCompatibility);
     span.annotate("error", "document not found");
     result.verdict = NegotiationStatus::kFailedWithoutOffer;
-    result.problems.push_back("document '" + document_id + "' not found in the catalog");
+    result.problems.push_back("document '" + request.document + "' not found in the catalog");
     return result;
   }
-  return negotiate_document(client, std::move(document), profile, trace);
+
+  NegotiationPlanCache* cache = config_.plan_cache.get();
+  if (cache == nullptr || request.cache == CacheUse::kBypass) {
+    auto plan = build_plan(request.client, entry.document, request.profile, trace);
+    return run_plan(request, *plan, trace, /*exclusive=*/true);
+  }
+
+  std::string key;
+  std::shared_ptr<const NegotiationPlan> plan;
+  {
+    ScopedSpan span(trace, Stage::kPlanCache);
+    key = plan_cache_key(document_fp(entry), request.client, request.profile, plan_digest_);
+    if (request.cache != CacheUse::kRefresh) plan = cache->lookup(key, entry.epoch);
+    span.annotate("hit", plan ? "true" : "false");
+  }
+  if (!plan) {
+    auto fresh = build_plan(request.client, entry.document, request.profile, trace);
+    fresh->document_epoch = entry.epoch;
+    cache->store(key, fresh);
+    plan = std::move(fresh);
+  }
+  return run_plan(request, *plan, trace, /*exclusive=*/false);
 }
 
-NegotiationResult QoSManager::negotiate_document(
+std::string QoSManager::document_fp(const Catalog::Entry& entry) {
+  std::lock_guard lk(fp_mu_);
+  auto it = fp_memo_.find(entry.epoch);
+  if (it != fp_memo_.end()) return it->second;
+  // The memo stays tiny (one live epoch per cached document); a burst of
+  // catalog churn is the only way it grows, so just reset it then.
+  if (fp_memo_.size() >= 64) fp_memo_.clear();
+  return fp_memo_.emplace(entry.epoch, document_fingerprint(*entry.document)).first->second;
+}
+
+std::shared_ptr<NegotiationPlan> QoSManager::build_plan(
     const ClientMachine& client, std::shared_ptr<const MultimediaDocument> document,
     const UserProfile& profile, TraceContext trace) {
-  NegotiationResult result;
-  if (!document) {
+  auto plan = std::make_shared<NegotiationPlan>();
+  plan->document = std::move(document);
+  if (!plan->document) {
     ScopedSpan span(trace, Stage::kCompatibility);
     span.annotate("error", "no document");
-    result.verdict = NegotiationStatus::kFailedWithoutOffer;
-    result.problems.push_back("no document");
-    return result;
+    plan->terminal = true;
+    plan->verdict = NegotiationStatus::kFailedWithoutOffer;
+    plan->problems.push_back("no document");
+    return plan;
   }
 
   // Step 1: static local negotiation.
@@ -111,25 +154,27 @@ NegotiationResult QoSManager::negotiate_document(
     const LocalCheck local = local_negotiation(client, profile.mm);
     if (!local.ok) {
       span.annotate("ok", "false");
-      result.verdict = NegotiationStatus::kFailedWithLocalOffer;
-      result.problems = local.problems;
-      result.user_offer = local_offer_from(local.local_offer);
-      return result;
+      plan->terminal = true;
+      plan->verdict = NegotiationStatus::kFailedWithLocalOffer;
+      plan->problems = local.problems;
+      plan->user_offer = local_offer_from(local.local_offer);
+      return plan;
     }
   }
 
   // Step 2: static compatibility checking.
   ScopedSpan compat_span(trace, Stage::kCompatibility);
-  auto feasible = compatible_variants(document, client, profile.mm);
+  auto feasible = compatible_variants(plan->document, client, profile.mm);
   if (!feasible.ok()) {
     compat_span.annotate("error", feasible.error());
-    result.verdict = NegotiationStatus::kFailedWithoutOffer;
-    result.problems.push_back(feasible.error());
-    return result;
+    plan->terminal = true;
+    plan->verdict = NegotiationStatus::kFailedWithoutOffer;
+    plan->problems.push_back(feasible.error());
+    return plan;
   }
   compat_span.end();
 
-  // Build the offer space; Steps 3+4: classify.
+  // Steps 3+4: build the offer space and the classification precomputation.
   ScopedSpan enum_span(trace, Stage::kEnumeration);
   if (config_.enumeration.prune_dominated) {
     const std::size_t dropped = prune_dominated_variants(feasible.value());
@@ -137,44 +182,70 @@ NegotiationResult QoSManager::negotiate_document(
       QOSNP_LOG_DEBUG("negotiate", "pruned ", dropped, " dominated variants");
     }
   }
+  plan->feasible = feasible.value();
+  std::size_t total = 0;
+  std::size_t known = 0;
   if (config_.enumeration.strategy == EnumerationStrategy::kBestFirst) {
     // Lazy best-first stream: Steps 3+4 are fused into the enumeration and
-    // offers materialise one at a time as Step 5 walks them.
-    auto stream = std::make_shared<OfferStream>(std::move(feasible.value()), profile.mm,
-                                                profile.importance, cost_model_, config_.policy,
-                                                config_.enumeration.max_offers);
-    result.offers.document = document;
+    // offers materialise one at a time as Step 5 walks them. The seed holds
+    // all the memoisation; each request spawns its own cursor over it.
+    plan->seed = make_offer_stream_seed(std::move(feasible.value()), profile.mm,
+                                        profile.importance, cost_model_, config_.policy);
+    total = seed_total_combinations(*plan->seed);
+    known = std::min(total, config_.enumeration.max_offers);
+  } else {
+    OfferList offers =
+        enumerate_offers(plan->feasible, profile.mm, cost_model_, config_.enumeration);
+    ThreadPool* pool = nullptr;
+    if (config_.parallel_threshold > 0 && offers.offers.size() >= config_.parallel_threshold) {
+      pool = &ThreadPool::shared();
+    }
+    classify_offers(offers.offers, profile.mm, profile.importance, config_.policy, pool);
+    offers.sns_ordered = !config_.policy.oif_only;
+    total = offers.total_combinations;
+    known = offers.known_count();
+    plan->eager = std::make_shared<OfferList>(std::move(offers));
+  }
+  enum_span.annotate("total_combinations", static_cast<std::uint64_t>(total));
+  enum_span.annotate("known_offers", static_cast<std::uint64_t>(known));
+  return plan;
+}
+
+NegotiationResult QoSManager::run_plan(const NegotiationRequest& request,
+                                       const NegotiationPlan& plan, TraceContext trace,
+                                       bool exclusive) {
+  NegotiationResult result;
+  result.verdict = plan.verdict;
+  result.problems = plan.problems;
+  result.user_offer = plan.user_offer;
+  if (plan.terminal) return result;
+
+  if (plan.seed) {
+    auto stream = std::make_shared<OfferStream>(plan.seed, config_.enumeration.max_offers);
+    result.offers.document = plan.document;
     result.offers.total_combinations = stream->total_combinations();
     result.offers.truncated = stream->emit_limit() < stream->total_combinations();
     result.offers.stream = std::move(stream);
-  } else {
-    result.offers =
-        enumerate_offers(feasible.value(), profile.mm, cost_model_, config_.enumeration);
+    // The stream yields offers already classified in final order.
+    result.offers.sns_ordered = !config_.policy.oif_only;
+  } else if (plan.eager) {
+    // shared_ptr does not propagate const to the pointee, so an exclusively
+    // owned plan can surrender its list without a per-request copy.
+    if (exclusive) {
+      result.offers = std::move(*plan.eager);
+    } else {
+      result.offers = *plan.eager;
+    }
   }
   if (result.offers.truncated) {
     result.problems.push_back(
         "offer space truncated to " + std::to_string(result.offers.known_count()) + " of " +
         std::to_string(result.offers.total_combinations) + " combinations");
   }
-  if (config_.enumeration.strategy == EnumerationStrategy::kBestFirst) {
-    // The stream yields offers already classified in final order.
-    result.offers.sns_ordered = !config_.policy.oif_only;
-  } else {
-    ThreadPool* pool = nullptr;
-    if (config_.parallel_threshold > 0 &&
-        result.offers.offers.size() >= config_.parallel_threshold) {
-      pool = &ThreadPool::shared();
-    }
-    classify_offers(result.offers.offers, profile.mm, profile.importance, config_.policy, pool);
-    result.offers.sns_ordered = !config_.policy.oif_only;
-  }
-  enum_span.annotate("total_combinations",
-                     static_cast<std::uint64_t>(result.offers.total_combinations));
-  enum_span.annotate("known_offers", static_cast<std::uint64_t>(result.offers.known_count()));
-  enum_span.end();
 
   // Step 5: resource commitment.
-  CommitAttempt attempt = commit_first(client, result.offers, profile.mm, {}, trace);
+  CommitAttempt attempt = commit_first(request.client, result.offers, request.profile.mm, {},
+                                       trace);
   result.commit_stats = attempt.stats;
   if (!attempt.ok()) {
     // FAILEDTRYLATER promises that trying later could succeed; keep that
@@ -189,13 +260,25 @@ NegotiationResult QoSManager::negotiate_document(
   result.commitment = std::move(attempt.commitment);
   const SystemOffer& committed = result.offers.offers[attempt.index];
   result.user_offer = derive_user_offer(committed);
-  result.verdict = satisfies_user(committed, profile.mm)
+  result.verdict = satisfies_user(committed, request.profile.mm)
                        ? NegotiationStatus::kSucceeded
                        : NegotiationStatus::kFailedWithOffer;
-  QOSNP_LOG_INFO("negotiate", "document '", document->id, "' for ", client.name, ": ",
-                 to_string(result.verdict), " (offer ", attempt.index, " of ",
+  QOSNP_LOG_INFO("negotiate", "document '", plan.document->id, "' for ", request.client.name,
+                 ": ", to_string(result.verdict), " (offer ", attempt.index, " of ",
                  result.offers.known_count(), ")");
   return result;
+}
+
+NegotiationResult QoSManager::negotiate(const ClientMachine& client,
+                                        const DocumentId& document_id,
+                                        const UserProfile& profile, TraceContext trace) {
+  return negotiate(make_negotiation_request(client, document_id, profile, trace));
+}
+
+NegotiationResult QoSManager::negotiate_document(
+    const ClientMachine& client, std::shared_ptr<const MultimediaDocument> document,
+    const UserProfile& profile, TraceContext trace) {
+  return negotiate(make_negotiation_request(client, std::move(document), profile, trace));
 }
 
 }  // namespace qosnp

@@ -13,17 +13,21 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "client/client_machine.hpp"
 #include "core/classify.hpp"
 #include "core/commit.hpp"
 #include "core/enumerate.hpp"
+#include "core/negotiation_request.hpp"
 #include "core/negotiation_result.hpp"
 #include "core/offer.hpp"
+#include "core/plan_cache.hpp"
 #include "cost/cost_model.hpp"
 #include "document/catalog.hpp"
 #include "obs/trace.hpp"
@@ -44,6 +48,10 @@ struct NegotiationConfig {
   /// How resource commitment retries transiently-refused offers before the
   /// walk falls through to the next (worse) offer. Default: no retries.
   RetryPolicy retry;
+  /// Cross-request plan cache for the Step 1-4 outcome (nullptr = off).
+  /// Shareable between managers/services; thread-safe. Requests opt out per
+  /// call via NegotiationRequest::cache.
+  std::shared_ptr<NegotiationPlanCache> plan_cache;
 };
 
 /// Result of walking the ordered offers and committing the first that fits.
@@ -64,14 +72,17 @@ class QoSManager {
   QoSManager(Catalog& catalog, ServerProvider& farm, TransportProvider& transport,
              CostModel cost_model = {}, NegotiationConfig config = {});
 
-  /// Run the negotiation procedure for one user request. An active `trace`
-  /// context records one span per executed stage (Steps 1-5) on its trace.
+  /// Run the negotiation procedure for one request. request.trace, when
+  /// active, records one span per executed stage on its trace; a plan-cache
+  /// hit replays the cached Steps 1-4 (kPlanCache span, hit=true) and runs
+  /// only the Step-5 commit walk.
+  NegotiationResult negotiate(const NegotiationRequest& request);
+
+  /// Pre-redesign entry points; build a NegotiationRequest instead.
+  [[deprecated("pass a NegotiationRequest to negotiate()")]]
   NegotiationResult negotiate(const ClientMachine& client, const DocumentId& document,
                               const UserProfile& profile, TraceContext trace = {});
-
-  /// Steps 1-5 against an already-resolved document. Used by renegotiation
-  /// (the session holds the document reference even if the catalog entry
-  /// has been replaced meanwhile).
+  [[deprecated("pass a NegotiationRequest (with `resolved` set) to negotiate()")]]
   NegotiationResult negotiate_document(const ClientMachine& client,
                                        std::shared_ptr<const MultimediaDocument> document,
                                        const UserProfile& profile, TraceContext trace = {});
@@ -91,13 +102,39 @@ class QoSManager {
   const CostModel& cost_model() const { return cost_model_; }
   const NegotiationConfig& config() const { return config_; }
   Catalog& catalog() { return *catalog_; }
+  /// The configured plan cache, or nullptr when caching is off.
+  NegotiationPlanCache* plan_cache() const { return config_.plan_cache.get(); }
 
  private:
+  /// Steps 1-4 for one (client, document, profile): the cacheable part.
+  /// Emits the local-check/compatibility/enumeration spans it executes.
+  std::shared_ptr<NegotiationPlan> build_plan(const ClientMachine& client,
+                                              std::shared_ptr<const MultimediaDocument> document,
+                                              const UserProfile& profile, TraceContext trace);
+  /// Step 5 (+ verdict) over a built or replayed plan. The single exit path
+  /// of every negotiation, so cached and uncached requests produce
+  /// byte-identical results. `exclusive` marks a plan owned by this request
+  /// alone (freshly built, not stored): its eager offer list is moved out
+  /// instead of copied.
+  NegotiationResult run_plan(const NegotiationRequest& request, const NegotiationPlan& plan,
+                             TraceContext trace, bool exclusive);
+
+  /// The document part of the cache key, memoised per catalog epoch (an
+  /// epoch is catalog-wide monotone, so it identifies one immutable entry
+  /// content for the catalog's lifetime). Serialising a wide variant ladder
+  /// dominates key building; the memo keeps the hit path O(1) in variants.
+  std::string document_fp(const Catalog::Entry& entry);
+
   Catalog* catalog_;
   ServerProvider* farm_;
   TransportProvider* transport_;
   CostModel cost_model_;
   NegotiationConfig config_;
+  /// Fingerprint of the manager knobs entering plan_cache_key (computed
+  /// once; the config is immutable after construction).
+  std::string plan_digest_;
+  std::mutex fp_mu_;
+  std::unordered_map<std::uint64_t, std::string> fp_memo_;  ///< guarded by fp_mu_
 };
 
 /// The "local offer" presented with FAILEDWITHLOCALOFFER: the user's

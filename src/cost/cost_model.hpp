@@ -71,6 +71,7 @@ class CostModel {
 
   const CostTable& network_table() const { return network_; }
   const CostTable& server_table() const { return server_; }
+  double best_effort_discount() const { return best_effort_discount_; }
 
   /// The throughput figure a stream is charged for: the average bit rate
   /// (the paper's "main QoS parameter ... is the throughput"; the service

@@ -5,6 +5,7 @@
 // many sessions concurrently against one catalog.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
@@ -18,21 +19,43 @@ namespace qosnp {
 
 class Catalog {
  public:
+  /// A stored document together with the catalog epoch it was stored at.
+  /// Epochs are drawn from a catalog-wide monotonically increasing counter
+  /// that advances on every successful add/remove, so an unchanged epoch for
+  /// a document id implies the *same* stored document object — the
+  /// invalidation check the negotiation plan cache relies on. epoch 0 means
+  /// "absent" (the counter starts at 1).
+  struct Entry {
+    std::shared_ptr<const MultimediaDocument> document;
+    std::uint64_t epoch = 0;
+  };
+
   Catalog() = default;
 
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
   /// Insert (or replace) a document. Returns the validation problem list;
-  /// an invalid document is rejected and not stored.
+  /// an invalid document is rejected and not stored. A successful insert
+  /// bumps the catalog epoch.
   std::vector<std::string> add(MultimediaDocument doc);
 
-  /// Remove a document; returns false when it was absent.
+  /// Remove a document; returns false when it was absent. A successful
+  /// remove bumps the catalog epoch.
   bool remove(const DocumentId& id);
 
   /// Look up a document (nullptr when absent). The returned pointer stays
   /// valid until the document is removed/replaced.
   std::shared_ptr<const MultimediaDocument> find(const DocumentId& id) const;
+
+  /// Look up a document together with its storage epoch ({nullptr, 0} when
+  /// absent) in one lock acquisition.
+  Entry find_entry(const DocumentId& id) const;
+
+  /// The catalog-wide epoch counter (0 before the first mutation).
+  std::uint64_t epoch() const;
+  /// The storage epoch of one document (0 when absent).
+  std::uint64_t epoch_of(const DocumentId& id) const;
 
   std::vector<DocumentId> list() const;
   std::size_t size() const;
@@ -43,7 +66,8 @@ class Catalog {
 
  private:
   mutable std::shared_mutex mu_;
-  std::unordered_map<DocumentId, std::shared_ptr<const MultimediaDocument>> docs_;
+  std::unordered_map<DocumentId, Entry> docs_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace qosnp

@@ -8,6 +8,7 @@ namespace qosnp {
 std::string_view to_string(Stage stage) {
   switch (stage) {
     case Stage::kQueueWait: return "queue-wait";
+    case Stage::kPlanCache: return "plan-cache";
     case Stage::kLocalCheck: return "local-check";
     case Stage::kCompatibility: return "compatibility";
     case Stage::kEnumeration: return "enumeration";

@@ -28,6 +28,7 @@ namespace qosnp {
 /// offer the Step-5 walk tried).
 enum class Stage : std::uint8_t {
   kQueueWait,      ///< service queue: accepted -> worker pickup (or shed)
+  kPlanCache,      ///< plan-cache key + lookup (hit=true/false attribute)
   kLocalCheck,     ///< Step 1: static local negotiation
   kCompatibility,  ///< Step 2: static compatibility checking
   kEnumeration,    ///< Steps 3-4: offer-space build + classification
@@ -36,7 +37,7 @@ enum class Stage : std::uint8_t {
   kAdmission,      ///< Step 6: session open + confirmation
 };
 
-inline constexpr std::size_t kStageCount = 7;
+inline constexpr std::size_t kStageCount = 8;
 
 std::string_view to_string(Stage stage);
 

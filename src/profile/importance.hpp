@@ -34,6 +34,9 @@ class PiecewiseLinear {
 
   std::size_t anchor_count() const { return anchors_.size(); }
   bool empty() const { return anchors_.empty(); }
+  /// The sorted (x, importance) anchors; exposed so profile fingerprints
+  /// (plan-cache keys) can cover the whole curve.
+  const std::vector<std::pair<double, double>>& anchors() const { return anchors_; }
 
  private:
   std::vector<std::pair<double, double>> anchors_;  // sorted by first

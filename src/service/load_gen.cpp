@@ -13,9 +13,9 @@ namespace qosnp {
 
 namespace {
 
-ServiceRequest make_request(const LoadConfig& config, std::uint64_t index) {
+NegotiationRequest make_request(const LoadConfig& config, std::uint64_t index) {
   Rng rng = request_rng(config.seed, index);
-  ServiceRequest req;
+  NegotiationRequest req;
   req.id = index + 1;
   req.client = config.clients[index % config.clients.size()];
   req.document = config.documents[rng.below(config.documents.size())];

@@ -2,10 +2,10 @@
 
 #include <chrono>
 #include <sstream>
-#include <stdexcept>
 #include <utility>
 
 #include "util/log.hpp"
+#include "util/validate.hpp"
 
 namespace qosnp {
 
@@ -38,19 +38,12 @@ std::string ServiceReport::summary() const {
   return os.str();
 }
 
-ServiceConfig NegotiationService::validated(ServiceConfig config) {
-  if (config.workers == 0) {
-    throw std::invalid_argument("ServiceConfig: workers must be at least 1");
-  }
-  if (config.queue_capacity == 0) {
-    throw std::invalid_argument("ServiceConfig: queue_capacity must be at least 1");
-  }
-  if (config.deadline_ms < 0.0) {
-    throw std::invalid_argument("ServiceConfig: deadline_ms must not be negative");
-  }
-  if (config.simulated_rtt_ms < 0.0) {
-    throw std::invalid_argument("ServiceConfig: simulated_rtt_ms must not be negative");
-  }
+ServiceConfig ServiceConfig::validated(ServiceConfig config) {
+  require_config(config.workers > 0, "ServiceConfig", "workers must be at least 1");
+  require_config(config.queue_capacity > 0, "ServiceConfig", "queue_capacity must be at least 1");
+  require_config(config.deadline_ms >= 0.0, "ServiceConfig", "deadline_ms must not be negative");
+  require_config(config.simulated_rtt_ms >= 0.0, "ServiceConfig",
+                 "simulated_rtt_ms must not be negative");
   return config;
 }
 
@@ -58,7 +51,7 @@ NegotiationService::NegotiationService(QoSManager& manager, SessionManager& sess
                                        ServiceConfig config)
     : manager_(&manager),
       sessions_(&sessions),
-      config_(validated(std::move(config))),
+      config_(ServiceConfig::validated(std::move(config))),
       metrics_(config_.metrics != nullptr ? config_.metrics : &own_metrics_),
       queue_(config_.queue_capacity) {
   requests_total_ =
@@ -95,6 +88,9 @@ NegotiationService::NegotiationService(QoSManager& manager, SessionManager& sess
                                      "Accept-to-response latency in milliseconds");
   queue_wait_ms_ = &metrics_->histogram("qosnp_queue_wait_ms", {},
                                         "Accept-to-pickup queue wait in milliseconds");
+  // A cache-enabled manager gets its counters mirrored into the same
+  // registry the service reports from (last binding service wins).
+  if (auto* cache = manager_->plan_cache()) cache->bind_metrics(*metrics_);
 }
 
 NegotiationService::~NegotiationService() { stop(); }
@@ -136,6 +132,16 @@ void NegotiationService::count_response(const NegotiationResult& result) {
 }
 
 std::future<NegotiationResult> NegotiationService::submit(ServiceRequest request) {
+  NegotiationRequest migrated;
+  migrated.id = request.id;
+  migrated.client = std::move(request.client);
+  migrated.document = std::move(request.document);
+  migrated.profile = std::move(request.profile);
+  migrated.accept_degraded = request.accept_degraded;
+  return submit(std::move(migrated));
+}
+
+std::future<NegotiationResult> NegotiationService::submit(NegotiationRequest request) {
   requests_total_->inc();
   Item item;
   item.accepted_ms = clock_.elapsed_ms();
@@ -179,7 +185,9 @@ NegotiationResult NegotiationService::process(Item& item, std::size_t worker_ind
   queue_wait_ms_->record(queue_ms);
 
   NegotiationResult response;
-  if (config_.deadline_ms > 0.0 && queue_ms > config_.deadline_ms) {
+  const double deadline_ms =
+      item.request.deadline_ms > 0.0 ? item.request.deadline_ms : config_.deadline_ms;
+  if (deadline_ms > 0.0 && queue_ms > deadline_ms) {
     // The request aged out while queued: rejecting it now is cheaper than
     // negotiating for a client that has given up (and sheds queueing delay
     // for everyone behind it).
@@ -193,8 +201,10 @@ NegotiationResult NegotiationService::process(Item& item, std::size_t worker_ind
           std::chrono::duration<double, std::milli>(config_.simulated_rtt_ms));
     }
     const TraceContext ctx(item.trace.get());
-    response =
-        manager_->negotiate(item.request.client, item.request.document, item.request.profile, ctx);
+    // The service owns per-request tracing: its trace (or none) replaces
+    // whatever context the submitter put on the request.
+    item.request.trace = ctx;
+    response = manager_->negotiate(item.request);
     commit_attempts_total_->add(static_cast<std::uint64_t>(response.commit_stats.attempts));
     commit_retries_total_->add(static_cast<std::uint64_t>(response.commit_stats.retries));
     const bool take = response.has_commitment() &&

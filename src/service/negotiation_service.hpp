@@ -47,7 +47,8 @@ struct ServiceConfig {
   std::size_t queue_capacity = 64;
   /// Per-request budget, in milliseconds, from acceptance into the queue to
   /// the start of processing; a request still queued past it is shed with
-  /// FAILEDTRYLATER. 0 disables the deadline.
+  /// FAILEDTRYLATER. 0 disables the deadline. A positive
+  /// NegotiationRequest::deadline_ms overrides this per request.
   double deadline_ms = 0.0;
   /// Simulated remote round-trip stall per processed request, modelling the
   /// catalog/server/transport message exchanges the distributed prototype
@@ -66,8 +67,16 @@ struct ServiceConfig {
   /// per executed stage) that is recorded here and attached to the
   /// response. Not owned; must outlive the service. nullptr = no tracing.
   TraceSink* trace_sink = nullptr;
+
+  /// Throws std::invalid_argument when the config is unusable (zero
+  /// workers, zero queue capacity, negative deadline or RTT). Shares the
+  /// require_config() validation path with CachePolicy.
+  static ServiceConfig validated(ServiceConfig config);
 };
 
+/// Pre-redesign submit payload; build a NegotiationRequest instead. Kept
+/// (non-deprecated as a type) so the converting submit() overload below can
+/// migrate old call sites in one step; both go next PR.
 struct ServiceRequest {
   std::uint64_t id = 0;
   ClientMachine client;
@@ -134,7 +143,12 @@ class NegotiationService {
   /// closed) queue resolves it immediately with FAILEDTRYLATER/kQueueFull.
   /// The resolved result does not carry the offer list or the commitment —
   /// those belong to the opened session (result.session_id) or were
-  /// released before resolution.
+  /// released before resolution. request.trace is replaced by the service's
+  /// own per-request trace when a TraceSink is configured.
+  std::future<NegotiationResult> submit(NegotiationRequest request);
+
+  /// Pre-redesign entry point; build a NegotiationRequest instead.
+  [[deprecated("pass a NegotiationRequest to submit()")]]
   std::future<NegotiationResult> submit(ServiceRequest request);
 
   std::size_t queue_depth() const { return queue_.size(); }
@@ -154,15 +168,13 @@ class NegotiationService {
 
  private:
   struct Item {
-    ServiceRequest request;
+    NegotiationRequest request;
     std::promise<NegotiationResult> promise;
     double accepted_ms = 0.0;
     /// Present only when the service traces (ServiceConfig::trace_sink).
     std::shared_ptr<NegotiationTrace> trace;
     SpanId queue_span = kNoSpan;
   };
-
-  static ServiceConfig validated(ServiceConfig config);
 
   void worker_loop(std::size_t index);
   NegotiationResult process(Item& item, std::size_t worker_index);
@@ -198,10 +210,5 @@ class NegotiationService {
   HistogramMetric* latency_ms_;
   HistogramMetric* queue_wait_ms_;
 };
-
-/// Deprecated pre-redesign name for the service's response type; the
-/// service now resolves the same NegotiationResult the QoSManager
-/// produces. Will be removed next PR.
-using ServiceResponse [[deprecated("use NegotiationResult")]] = NegotiationResult;
 
 }  // namespace qosnp

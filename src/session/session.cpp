@@ -176,7 +176,7 @@ RenegotiationResult SessionManager::renegotiate(SessionId id, const UserProfile&
   }
 
   NegotiationResult renegotiated =
-      manager_->negotiate_document(s.client, s.offers.document, new_profile);
+      manager_->negotiate(make_negotiation_request(s.client, s.offers.document, new_profile));
   result.status = renegotiated.verdict;
   result.problems = renegotiated.problems;
   s.stats.commit.merge(renegotiated.commit_stats);

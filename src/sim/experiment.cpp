@@ -219,7 +219,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       const UserProfile& profile = profiles[rng.below(profiles.size())];
 
       Stopwatch watch;
-      NegotiationResult outcome = negotiator->negotiate(client, doc_id, profile);
+      NegotiationResult outcome =
+          negotiator->negotiate(make_negotiation_request(client, doc_id, profile));
       metrics.negotiation_ms_total += watch.elapsed_ms();
       metrics.record(outcome.verdict);
       metrics.commit_attempts += static_cast<std::size_t>(outcome.commit_stats.attempts);

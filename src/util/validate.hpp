@@ -1,0 +1,18 @@
+// Shared configuration validation: every config struct that can be
+// constructed with values that would corrupt arithmetic later (zero worker
+// pools, zero cache shards, negative deadlines) funnels its checks through
+// require_config so the failure mode is one uniform std::invalid_argument at
+// construction time instead of a division by zero at first use.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qosnp {
+
+/// Throw std::invalid_argument("<type>: <what>") unless `ok` holds.
+inline void require_config(bool ok, const std::string& type, const std::string& what) {
+  if (!ok) throw std::invalid_argument(type + ": " + what);
+}
+
+}  // namespace qosnp

@@ -25,7 +25,7 @@ TEST(BasicNegotiator, CommitsExactlyOneStaticOffer) {
   TestSystem sys;
   BasicNegotiator basic(sys.catalog, sys.farm, *sys.transport);
   NegotiationResult outcome =
-      basic.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+      basic.negotiate(make_negotiation_request(sys.client, "article", TestSystem::tolerant_profile()));
   EXPECT_EQ(outcome.verdict, NegotiationStatus::kSucceeded);
   EXPECT_EQ(outcome.offers.offers.size(), 1u);  // no alternatives, no ladder
   EXPECT_EQ(outcome.committed_index, 0u);
@@ -36,7 +36,7 @@ TEST(BasicNegotiator, RejectsWhenNoVariantSatisfiesDesired) {
   BasicNegotiator basic(sys.catalog, sys.farm, *sys.transport);
   UserProfile greedy = TestSystem::tolerant_profile();
   greedy.mm.video->desired = VideoQoS{ColorDepth::kSuperColor, 60, 1920};
-  NegotiationResult outcome = basic.negotiate(sys.client, "article", greedy);
+  NegotiationResult outcome = basic.negotiate(make_negotiation_request(sys.client, "article", greedy));
   // The smart negotiator degrades gracefully here (FAILEDWITHOFFER); the
   // static baseline simply has nothing to offer.
   EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedWithoutOffer);
@@ -48,7 +48,7 @@ TEST(BasicNegotiator, FailsTryLaterWithoutFallback) {
   TestSystem sys;
   BasicNegotiator basic(sys.catalog, sys.farm, *sys.transport);
   UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationResult probe = basic.negotiate(sys.client, "article", profile);
+  NegotiationResult probe = basic.negotiate(make_negotiation_request(sys.client, "article", profile));
   ASSERT_TRUE(probe.has_commitment());
   // Find which server the static choice used for video and choke it.
   ServerId used;
@@ -60,11 +60,11 @@ TEST(BasicNegotiator, FailsTryLaterWithoutFallback) {
   }
   probe.commitment.release();
   sys.farm.find(used)->degrade(0.9999);
-  NegotiationResult outcome = basic.negotiate(sys.client, "article", profile);
+  NegotiationResult outcome = basic.negotiate(make_negotiation_request(sys.client, "article", profile));
   EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedTryLater);
   // The smart procedure serves the same request from the other server.
   SmartNegotiator smart(sys.catalog, sys.farm, *sys.transport);
-  NegotiationResult smart_outcome = smart.negotiate(sys.client, "article", profile);
+  NegotiationResult smart_outcome = smart.negotiate(make_negotiation_request(sys.client, "article", profile));
   EXPECT_TRUE(smart_outcome.verdict == NegotiationStatus::kSucceeded ||
               smart_outcome.verdict == NegotiationStatus::kFailedWithOffer);
 }
@@ -73,7 +73,7 @@ TEST(CostOnlyNegotiator, PicksCheapestCommittableOffer) {
   TestSystem sys;
   CostOnlyNegotiator cost(sys.catalog, sys.farm, *sys.transport, CostModel{});
   NegotiationResult outcome =
-      cost.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+      cost.negotiate(make_negotiation_request(sys.client, "article", TestSystem::tolerant_profile()));
   ASSERT_TRUE(outcome.has_commitment());
   EXPECT_EQ(outcome.committed_index, 0u);
   for (std::size_t i = 1; i < outcome.offers.offers.size(); ++i) {
@@ -91,7 +91,7 @@ TEST(QoSOnlyNegotiator, PicksRichestOfferIgnoringCost) {
   QoSOnlyNegotiator qos(sys.catalog, sys.farm, *sys.transport, CostModel{});
   UserProfile profile = TestSystem::tolerant_profile();
   profile.mm.cost.max_cost = Money::cents(1);  // budget the richest offer busts
-  NegotiationResult outcome = qos.negotiate(sys.client, "article", profile);
+  NegotiationResult outcome = qos.negotiate(make_negotiation_request(sys.client, "article", profile));
   ASSERT_TRUE(outcome.has_commitment());
   // QoS-only ignores the budget -> the committed offer violates it.
   EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedWithOffer);
@@ -110,13 +110,13 @@ TEST(Baselines, LocalAndCompatibilityChecksStillApply) {
   }
   BasicNegotiator basic(sys.catalog, sys.farm, *sys.transport);
   CostOnlyNegotiator cost(sys.catalog, sys.farm, *sys.transport, CostModel{});
-  EXPECT_EQ(basic.negotiate(bw, "article", profile).verdict,
+  EXPECT_EQ(basic.negotiate(make_negotiation_request(bw, "article", profile)).verdict,
             NegotiationStatus::kFailedWithLocalOffer);
-  EXPECT_EQ(cost.negotiate(bw, "article", profile).verdict,
+  EXPECT_EQ(cost.negotiate(make_negotiation_request(bw, "article", profile)).verdict,
             NegotiationStatus::kFailedWithLocalOffer);
-  EXPECT_EQ(basic.negotiate(sys.client, "ghost", profile).verdict,
+  EXPECT_EQ(basic.negotiate(make_negotiation_request(sys.client, "ghost", profile)).verdict,
             NegotiationStatus::kFailedWithoutOffer);
-  EXPECT_EQ(cost.negotiate(sys.client, "ghost", profile).verdict,
+  EXPECT_EQ(cost.negotiate(make_negotiation_request(sys.client, "ghost", profile)).verdict,
             NegotiationStatus::kFailedWithoutOffer);
 }
 
@@ -136,12 +136,12 @@ TEST(Baselines, SmartServiceRateDominatesBasicUnderLoad) {
   int basic_served = 0;
   std::vector<NegotiationResult> held;
   for (int i = 0; i < 30; ++i) {
-    auto a = smart.negotiate(smart_sys.client, "article", profile);
+    auto a = smart.negotiate(make_negotiation_request(smart_sys.client, "article", profile));
     if (a.has_commitment()) {
       ++smart_served;
       held.push_back(std::move(a));
     }
-    auto b = basic.negotiate(basic_sys.client, "article", profile);
+    auto b = basic.negotiate(make_negotiation_request(basic_sys.client, "article", profile));
     if (b.has_commitment()) {
       ++basic_served;
       held.push_back(std::move(b));

@@ -172,7 +172,7 @@ TEST(MultiDomain, FullNegotiationRunsAcrossDomains) {
   MultiDomainTransport& net = *netp;
   QoSManager manager(sys.catalog, sys.farm, net);
   NegotiationResult outcome =
-      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+      manager.negotiate(make_negotiation_request(sys.client, "article", TestSystem::tolerant_profile()));
   EXPECT_EQ(outcome.verdict, NegotiationStatus::kSucceeded);
   ASSERT_TRUE(outcome.has_commitment());
   EXPECT_GT(net.active_flows(), 0u);

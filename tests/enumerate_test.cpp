@@ -231,8 +231,8 @@ TEST(Prune, BestCommittedOfferUnchangedByPruning) {
   QoSManager pruned(sys_pruned.catalog, sys_pruned.farm, *sys_pruned.transport, CostModel{},
                     pruned_config);
   const UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationResult a = plain.negotiate(sys_plain.client, "article", profile);
-  NegotiationResult b = pruned.negotiate(sys_pruned.client, "article", profile);
+  NegotiationResult a = plain.negotiate(make_negotiation_request(sys_plain.client, "article", profile));
+  NegotiationResult b = pruned.negotiate(make_negotiation_request(sys_pruned.client, "article", profile));
   ASSERT_TRUE(a.has_commitment());
   ASSERT_TRUE(b.has_commitment());
   ASSERT_EQ(a.verdict, b.verdict);

@@ -98,7 +98,7 @@ TEST(Fault, PermanentFailureSkipsToNextOfferWithoutRetrying) {
   config.retry.max_attempts = 5;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport, CostModel{}, config);
   const UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationResult outcome = manager.negotiate(sys.client, "half-ghost", profile);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(sys.client, "half-ghost", profile));
   ASSERT_TRUE(outcome.has_commitment());
   for (const auto& c : outcome.offers.offers[outcome.committed_index].components) {
     EXPECT_NE(c.variant->server, "server-ghost");
@@ -121,7 +121,7 @@ TEST(Fault, TotalOutageYieldsFailedTryLater) {
   config.retry.max_attempts = 3;
   QoSManager manager(sys.catalog, faulty_farm, faulty_transport, CostModel{}, config);
   const UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(sys.client, "article", profile));
   EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedTryLater);
   EXPECT_FALSE(outcome.has_commitment());
   EXPECT_GT(outcome.commit_stats.transient_failures, 0);
@@ -242,7 +242,7 @@ TEST(Fault, SameSeedSameNegotiationTwice) {
     NegotiationConfig config;
     config.retry.max_attempts = 3;
     QoSManager manager(sys.catalog, faulty_farm, faulty_transport, CostModel{}, config);
-    NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
+    NegotiationResult outcome = manager.negotiate(make_negotiation_request(sys.client, "article", profile));
     return std::tuple{outcome.verdict, outcome.committed_index, outcome.commit_stats.attempts,
                       outcome.commit_stats.retries, outcome.commit_stats.transient_failures};
   };

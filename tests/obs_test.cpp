@@ -124,9 +124,9 @@ TEST(Trace, ManagerRecordsOneSpanPerExecutedStage) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   NegotiationTrace trace(1);
-  NegotiationResult result = manager.negotiate(sys.client, "article",
+  NegotiationResult result = manager.negotiate(make_negotiation_request(sys.client, "article",
                                                TestSystem::tolerant_profile(),
-                                               TraceContext(&trace));
+                                               TraceContext(&trace)));
   ASSERT_EQ(result.verdict, NegotiationStatus::kSucceeded);
   EXPECT_EQ(trace.count(Stage::kLocalCheck), 1u);
   EXPECT_EQ(trace.count(Stage::kCompatibility), 1u);
@@ -153,9 +153,9 @@ TEST(Trace, FailedCommitAttemptsNameTheRefusingComponent) {
   sys.farm.find("server-b")->fail();
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   NegotiationTrace trace(2);
-  NegotiationResult result = manager.negotiate(sys.client, "article",
+  NegotiationResult result = manager.negotiate(make_negotiation_request(sys.client, "article",
                                                TestSystem::tolerant_profile(),
-                                               TraceContext(&trace));
+                                               TraceContext(&trace)));
   ASSERT_EQ(result.verdict, NegotiationStatus::kFailedTryLater);
   ASSERT_GE(trace.count(Stage::kCommitAttempt), 1u);
   for (const Span& span : trace.spans()) {
@@ -265,7 +265,7 @@ TEST(ServiceObservability, TracesAreCompleteAndWellFormed) {
   std::vector<std::future<NegotiationResult>> futures;
   const std::size_t kRequests = 40;
   for (std::size_t i = 0; i < kRequests; ++i) {
-    ServiceRequest req;
+    NegotiationRequest req;
     req.id = i + 1;
     req.client = sys.clients[i % sys.clients.size()];
     req.document = "article";
@@ -325,7 +325,7 @@ TEST(ServiceObservability, VerdictCountersConserveSubmissions) {
   std::vector<std::future<NegotiationResult>> futures;
   const std::size_t kRequests = 120;
   for (std::size_t i = 0; i < kRequests; ++i) {
-    ServiceRequest req;
+    NegotiationRequest req;
     req.id = i + 1;
     req.client = sys.clients[i % sys.clients.size()];
     req.document = "article";
@@ -364,7 +364,7 @@ TEST(ServiceObservability, TracingOffMeansNoTraceHandle) {
   ServiceSystem sys(2);
   NegotiationService service(*sys.manager, *sys.sessions, ServiceConfig{});
   service.start();
-  ServiceRequest req;
+  NegotiationRequest req;
   req.id = 1;
   req.client = sys.clients[0];
   req.document = "article";

@@ -201,8 +201,8 @@ TEST(OfferStreamDifferential, NegotiationResultMatchesEagerAcrossCorpora) {
     for (const DocumentId& id : eager_sys.catalog.list()) {
       for (int rep = 0; rep < 2; ++rep) {
         const UserProfile profile = random_profile(rng);
-        NegotiationResult a = eager.negotiate(eager_sys.client, id, profile);
-        NegotiationResult b = lazy.negotiate(lazy_sys.client, id, profile);
+        NegotiationResult a = eager.negotiate(make_negotiation_request(eager_sys.client, id, profile));
+        NegotiationResult b = lazy.negotiate(make_negotiation_request(lazy_sys.client, id, profile));
         EXPECT_EQ(a.verdict, b.verdict) << "seed " << seed << " doc " << id;
         EXPECT_EQ(a.committed_index, b.committed_index) << "seed " << seed << " doc " << id;
         EXPECT_EQ(a.problems, b.problems) << "seed " << seed << " doc " << id;
@@ -284,8 +284,8 @@ TEST(OfferStreamRegression, BestFirstCommitsTheBestOfferTheEagerCapDropped) {
   QoSManager lazy(lazy_sys.catalog, lazy_sys.farm, *lazy_sys.transport, CostModel{},
                   lazy_config);
 
-  NegotiationResult truncated = eager.negotiate(eager_sys.client, "best-last", profile);
-  NegotiationResult best = lazy.negotiate(lazy_sys.client, "best-last", profile);
+  NegotiationResult truncated = eager.negotiate(make_negotiation_request(eager_sys.client, "best-last", profile));
+  NegotiationResult best = lazy.negotiate(make_negotiation_request(lazy_sys.client, "best-last", profile));
   ASSERT_TRUE(truncated.has_commitment());
   ASSERT_TRUE(best.has_commitment());
 
@@ -317,8 +317,8 @@ TEST(OfferStreamAdaptation, LadderMarchMatchesEagerUnderExcludeAllTried) {
   QoSManager lazy(lazy_sys.catalog, lazy_sys.farm, *lazy_sys.transport, CostModel{},
                   strategy_config(EnumerationStrategy::kBestFirst));
   const UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationResult a = eager.negotiate(eager_sys.client, "article", profile);
-  NegotiationResult b = lazy.negotiate(lazy_sys.client, "article", profile);
+  NegotiationResult a = eager.negotiate(make_negotiation_request(eager_sys.client, "article", profile));
+  NegotiationResult b = lazy.negotiate(make_negotiation_request(lazy_sys.client, "article", profile));
   ASSERT_TRUE(a.has_commitment());
   ASSERT_TRUE(b.has_commitment());
   // The lazy negotiation consumed only a prefix; the ladder is still known
@@ -368,7 +368,7 @@ TEST(OfferStreamAdaptation, FaultedCommitWalkMatchesEagerAndFetchesDeeper) {
     FaultyTransportProvider transport(*sys.transport, plan);
     QoSManager manager(sys.catalog, farm, transport, CostModel{}, strategy_config(strategy));
     const UserProfile profile = TestSystem::tolerant_profile();
-    NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
+    NegotiationResult outcome = manager.negotiate(make_negotiation_request(sys.client, "article", profile));
     return std::tuple{outcome.verdict, outcome.committed_index, outcome.problems,
                       outcome.commit_stats.attempts, outcome.commit_stats.transient_failures,
                       outcome.offers.offers.size()};
@@ -392,7 +392,7 @@ TEST(OfferStreamLaziness, NegotiationMaterialisesOnlyTheWalkedPrefix) {
   QoSManager manager(sys.catalog, sys.farm, *sys.transport, CostModel{},
                      strategy_config(EnumerationStrategy::kBestFirst));
   const UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(sys.client, "article", profile));
   ASSERT_TRUE(outcome.has_commitment());
   EXPECT_EQ(outcome.offers.known_count(), 20u);
   // The first offer commits, so the walk needed at most a couple of fetches.

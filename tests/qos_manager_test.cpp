@@ -16,7 +16,7 @@ TEST(QoSManager, SucceedsOnSatisfiableRequest) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   const UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(sys.client, "article", profile));
   EXPECT_EQ(outcome.verdict, NegotiationStatus::kSucceeded);
   ASSERT_TRUE(outcome.user_offer.has_value());
   ASSERT_TRUE(outcome.has_commitment());
@@ -32,7 +32,7 @@ TEST(QoSManager, CommitsTheTopClassifiedOffer) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   const UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(sys.client, "article", profile));
   ASSERT_TRUE(outcome.has_commitment());
   // With ample resources the very first (best) offer must be the one
   // committed.
@@ -44,7 +44,7 @@ TEST(QoSManager, UnknownDocumentFailsWithoutOffer) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   NegotiationResult outcome =
-      manager.negotiate(sys.client, "no-such-doc", TestSystem::tolerant_profile());
+      manager.negotiate(make_negotiation_request(sys.client, "no-such-doc", TestSystem::tolerant_profile()));
   EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedWithoutOffer);
   EXPECT_FALSE(outcome.has_commitment());
 }
@@ -56,7 +56,7 @@ TEST(QoSManager, LocalFailureReturnsLocalOffer) {
   bw.screen = ScreenSpec{640, 480, ColorDepth::kBlackWhite};
   UserProfile profile = TestSystem::tolerant_profile();
   profile.mm.video->worst = VideoQoS{ColorDepth::kColor, 10, 320};  // colour floor
-  NegotiationResult outcome = manager.negotiate(bw, "article", profile);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(bw, "article", profile));
   EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedWithLocalOffer);
   ASSERT_TRUE(outcome.user_offer.has_value());
   // The local offer is clipped to the black&white screen.
@@ -70,7 +70,7 @@ TEST(QoSManager, UndecodableDocumentFailsWithoutOffer) {
   ClientMachine odd = sys.client;
   odd.decoders = {CodingFormat::kH261, CodingFormat::kPCM, CodingFormat::kPlainText};
   NegotiationResult outcome =
-      manager.negotiate(odd, "article", TestSystem::tolerant_profile());
+      manager.negotiate(make_negotiation_request(odd, "article", TestSystem::tolerant_profile()));
   EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedWithoutOffer);
   EXPECT_FALSE(outcome.user_offer.has_value());
 }
@@ -79,7 +79,7 @@ TEST(QoSManager, ResourceShortageFailsTryLater) {
   TestSystem sys(/*access_bps=*/50'000);  // not even the cheapest offer fits
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   NegotiationResult outcome =
-      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+      manager.negotiate(make_negotiation_request(sys.client, "article", TestSystem::tolerant_profile()));
   EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedTryLater);
   EXPECT_FALSE(outcome.has_commitment());
   EXPECT_FALSE(outcome.problems.empty());
@@ -92,7 +92,7 @@ TEST(QoSManager, UnsatisfiableQosYieldsFailedWithOffer) {
   // Nothing in the catalog offers HDTV rate; the floor is above every variant.
   greedy.mm.video->desired = VideoQoS{ColorDepth::kSuperColor, 60, 1920};
   greedy.mm.video->worst = VideoQoS{ColorDepth::kSuperColor, 60, 1920};
-  NegotiationResult outcome = manager.negotiate(sys.client, "article", greedy);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(sys.client, "article", greedy));
   EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedWithOffer);
   ASSERT_TRUE(outcome.user_offer.has_value());
   ASSERT_TRUE(outcome.has_commitment());
@@ -105,7 +105,7 @@ TEST(QoSManager, TightBudgetPrefersCheaperSatisfyingOffer) {
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   UserProfile profile = TestSystem::tolerant_profile();
   profile.importance.cost_per_dollar = 10.0;  // cost-sensitive user
-  NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(sys.client, "article", profile));
   ASSERT_TRUE(outcome.has_commitment());
   const SystemOffer& committed = outcome.offers.offers[outcome.committed_index];
   // Every satisfying offer with a higher OIF would have been committed
@@ -120,7 +120,7 @@ TEST(QoSManager, ClassificationOrderIsBestToWorst) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   NegotiationResult outcome =
-      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+      manager.negotiate(make_negotiation_request(sys.client, "article", TestSystem::tolerant_profile()));
   const auto& offers = outcome.offers.offers;
   for (std::size_t i = 1; i < offers.size(); ++i) {
     // SNS non-decreasing; OIF non-increasing within an SNS class.
@@ -139,7 +139,7 @@ TEST(QoSManager, FallsBackToNextOfferWhenBestIsFull) {
   MediaServer* a = sys.farm.find("server-a");
   a->degrade(0.999);  // effectively no disk bandwidth left
   NegotiationResult outcome =
-      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+      manager.negotiate(make_negotiation_request(sys.client, "article", TestSystem::tolerant_profile()));
   ASSERT_TRUE(outcome.has_commitment()) << outcome.problems.empty();
   // The continuous (guaranteed) streams no longer fit on server-a; only a
   // tiny best-effort text delivery may still land there.
@@ -154,7 +154,7 @@ TEST(QoSManager, CommitFirstHonoursExclusions) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   NegotiationResult outcome =
-      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+      manager.negotiate(make_negotiation_request(sys.client, "article", TestSystem::tolerant_profile()));
   ASSERT_TRUE(outcome.has_commitment());
   const std::size_t first = outcome.committed_index;
   outcome.commitment.release();
@@ -168,7 +168,7 @@ TEST(QoSManager, CommitFirstHonoursExclusions) {
 TEST(QoSManager, NegotiationLeavesNoResidueOnFailure) {
   TestSystem sys(/*access_bps=*/50'000);
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
-  manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  manager.negotiate(make_negotiation_request(sys.client, "article", TestSystem::tolerant_profile()));
   EXPECT_EQ(sys.transport->active_flows(), 0u);
   for (const auto& id : sys.farm.list()) {
     EXPECT_EQ(sys.farm.find(id)->usage().reserved_bps, 0);
@@ -186,7 +186,7 @@ TEST(QoSManager, RepeatedNegotiationsConsumeCapacity) {
   int succeeded = 0;
   int degraded_or_refused = 0;
   for (int i = 0; i < 40; ++i) {
-    NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
+    NegotiationResult outcome = manager.negotiate(make_negotiation_request(sys.client, "article", profile));
     if (outcome.verdict == NegotiationStatus::kSucceeded) {
       ++succeeded;
     } else {
@@ -206,7 +206,7 @@ TEST(QoSManager, TruncationIsReportedAsProblem) {
   config.enumeration.max_offers = 3;  // the article yields 20 combinations
   QoSManager manager(sys.catalog, sys.farm, *sys.transport, CostModel{}, config);
   NegotiationResult outcome =
-      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+      manager.negotiate(make_negotiation_request(sys.client, "article", TestSystem::tolerant_profile()));
   ASSERT_TRUE(outcome.offers.truncated);
   bool mentioned = false;
   for (const auto& p : outcome.problems) {
@@ -219,7 +219,8 @@ TEST(QoSManager, NegotiateDocumentRejectsNull) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   NegotiationResult outcome =
-      manager.negotiate_document(sys.client, nullptr, TestSystem::tolerant_profile());
+      manager.negotiate(make_negotiation_request(sys.client, std::shared_ptr<const MultimediaDocument>{},
+                                                TestSystem::tolerant_profile()));
   EXPECT_EQ(outcome.verdict, NegotiationStatus::kFailedWithoutOffer);
 }
 
@@ -231,7 +232,7 @@ TEST(QoSManager, NegotiateDocumentWorksWithoutCatalogEntry) {
   auto doc = sys.catalog.find("article");
   sys.catalog.remove("article");
   NegotiationResult outcome =
-      manager.negotiate_document(sys.client, doc, TestSystem::tolerant_profile());
+      manager.negotiate(make_negotiation_request(sys.client, doc, TestSystem::tolerant_profile()));
   EXPECT_EQ(outcome.verdict, NegotiationStatus::kSucceeded);
 }
 
@@ -242,11 +243,11 @@ TEST(QoSManager, ParallelClassificationPathProducesSameOutcome) {
   NegotiationConfig parallel_config;
   parallel_config.parallel_threshold = 1;
   QoSManager serial(sys.catalog, sys.farm, *sys.transport, CostModel{}, serial_config);
-  NegotiationResult a = serial.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+  NegotiationResult a = serial.negotiate(make_negotiation_request(sys.client, "article", TestSystem::tolerant_profile()));
   a.commitment.release();
   QoSManager parallel(sys.catalog, sys.farm, *sys.transport, CostModel{}, parallel_config);
   NegotiationResult b =
-      parallel.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+      parallel.negotiate(make_negotiation_request(sys.client, "article", TestSystem::tolerant_profile()));
   ASSERT_EQ(a.offers.offers.size(), b.offers.offers.size());
   for (std::size_t i = 0; i < a.offers.offers.size(); ++i) {
     EXPECT_EQ(a.offers.offers[i].components[0].variant->id,

@@ -13,7 +13,7 @@ TEST(Report, SucceededWindowShowsOfferAndCost) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   NegotiationResult outcome =
-      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+      manager.negotiate(make_negotiation_request(sys.client, "article", TestSystem::tolerant_profile()));
   ASSERT_EQ(outcome.verdict, NegotiationStatus::kSucceeded);
   const std::string window = render_information_window(outcome);
   EXPECT_NE(window.find("SUCCEEDED"), std::string::npos);
@@ -31,7 +31,7 @@ TEST(Report, LocalOfferWindowExplainsTheFloor) {
   bw.screen = ScreenSpec{640, 480, ColorDepth::kBlackWhite};
   UserProfile profile = TestSystem::tolerant_profile();
   profile.mm.video->worst = VideoQoS{ColorDepth::kColor, 10, 320};
-  NegotiationResult outcome = manager.negotiate(bw, "article", profile);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(bw, "article", profile));
   ASSERT_EQ(outcome.verdict, NegotiationStatus::kFailedWithLocalOffer);
   const std::string window = render_information_window(outcome);
   EXPECT_NE(window.find("FAILEDWITHLOCALOFFER"), std::string::npos);
@@ -43,7 +43,7 @@ TEST(Report, TryLaterWindowSuggestsRetry) {
   TestSystem sys(/*access_bps=*/50'000);
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   NegotiationResult outcome =
-      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+      manager.negotiate(make_negotiation_request(sys.client, "article", TestSystem::tolerant_profile()));
   ASSERT_EQ(outcome.verdict, NegotiationStatus::kFailedTryLater);
   const std::string window = render_information_window(outcome);
   EXPECT_NE(window.find("Try again later"), std::string::npos);
@@ -53,7 +53,7 @@ TEST(Report, SummaryIsOneLine) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   NegotiationResult outcome =
-      manager.negotiate(sys.client, "article", TestSystem::tolerant_profile());
+      manager.negotiate(make_negotiation_request(sys.client, "article", TestSystem::tolerant_profile()));
   const std::string summary = render_summary(outcome);
   EXPECT_EQ(summary.find('\n'), std::string::npos);
   EXPECT_NE(summary.find("SUCCEEDED"), std::string::npos);
@@ -63,7 +63,7 @@ TEST(Report, ClassificationTableMarksTheCommittedOffer) {
   TestSystem sys;
   QoSManager manager(sys.catalog, sys.farm, *sys.transport);
   const UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(sys.client, "article", profile));
   ASSERT_TRUE(outcome.has_commitment());
   const std::string table = render_classification_table(outcome, profile.mm, 5);
   EXPECT_NE(table.find("> 1"), std::string::npos);  // rank 1 committed

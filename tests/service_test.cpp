@@ -18,9 +18,9 @@ namespace {
 using testing::ServiceSystem;
 using testing::TestSystem;
 
-ServiceRequest make_request(const ServiceSystem& sys, std::uint64_t id,
+NegotiationRequest make_request(const ServiceSystem& sys, std::uint64_t id,
                             const UserProfile& profile) {
-  ServiceRequest req;
+  NegotiationRequest req;
   req.id = id;
   req.client = sys.clients[id % sys.clients.size()];
   req.document = "article";
@@ -158,7 +158,7 @@ TEST(NegotiationService, DeclinedDegradedOfferReleasesItsCommitment) {
   UserProfile stingy = TestSystem::tolerant_profile();
   stingy.mm.cost.max_cost = Money::cents(1);
 
-  ServiceRequest declined = make_request(sys, 1, stingy);
+  NegotiationRequest declined = make_request(sys, 1, stingy);
   declined.accept_degraded = false;
   const NegotiationResult declined_resp = service.submit(std::move(declined)).get();
   EXPECT_EQ(declined_resp.verdict, NegotiationStatus::kFailedWithOffer);
@@ -166,7 +166,7 @@ TEST(NegotiationService, DeclinedDegradedOfferReleasesItsCommitment) {
   // Step 6 decline: the worker released the commitment immediately.
   EXPECT_TRUE(sys.drained());
 
-  ServiceRequest accepted = make_request(sys, 2, stingy);
+  NegotiationRequest accepted = make_request(sys, 2, stingy);
   accepted.accept_degraded = true;
   const NegotiationResult accepted_resp = service.submit(std::move(accepted)).get();
   EXPECT_EQ(accepted_resp.verdict, NegotiationStatus::kFailedWithOffer);

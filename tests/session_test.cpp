@@ -18,7 +18,7 @@ struct SessionFixture : public ::testing::Test {
   SessionId negotiate_and_open(double now_s = 0.0,
                                std::optional<UserProfile> profile_in = std::nullopt) {
     UserProfile profile = profile_in.value_or(TestSystem::tolerant_profile());
-    NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
+    NegotiationResult outcome = manager.negotiate(make_negotiation_request(sys.client, "article", profile));
     EXPECT_TRUE(outcome.has_commitment());
     auto opened = sessions.open(sys.client, profile, std::move(outcome), now_s);
     EXPECT_TRUE(opened.ok());
@@ -133,7 +133,7 @@ TEST_F(SessionFixture, MakeBeforeBreakAdaptationWorks) {
                                                .exclude_all_tried = false,
                                                .transition_latency_s = 1.0});
   UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(sys.client, "article", profile));
   ASSERT_TRUE(outcome.has_commitment());
   auto opened = bbm.open(sys.client, profile, std::move(outcome), 0.0);
   ASSERT_TRUE(opened.ok());
@@ -148,7 +148,7 @@ TEST_F(SessionFixture, ExcludeAllTriedPolicyExhaustsLadder) {
                                                   .exclude_all_tried = true,
                                                   .transition_latency_s = 0.5});
   UserProfile profile = TestSystem::tolerant_profile();
-  NegotiationResult outcome = manager.negotiate(sys.client, "article", profile);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(sys.client, "article", profile));
   ASSERT_TRUE(outcome.has_commitment());
   const std::size_t ladder = outcome.offers.known_count();
   auto opened = strict.open(sys.client, profile, std::move(outcome), 0.0);

@@ -72,7 +72,7 @@ class StressRun {
   void negotiate() {
     const DocumentId& doc = doc_ids_[rng_.below(doc_ids_.size())];
     const UserProfile& profile = profiles_[rng_.below(profiles_.size())];
-    NegotiationResult outcome = manager_.negotiate(sys_.client, doc, profile);
+    NegotiationResult outcome = manager_.negotiate(make_negotiation_request(sys_.client, doc, profile));
     // The report renderer must handle every outcome without crashing.
     EXPECT_FALSE(render_information_window(outcome).empty());
     if (outcome.has_commitment()) {

@@ -24,7 +24,8 @@ struct ServiceSystem {
 
   explicit ServiceSystem(int num_clients = 16, std::int64_t access_bps = 1'000'000'000,
                          std::int64_t backbone_bps = 10'000'000'000,
-                         std::int64_t server_bps = 10'000'000'000, int server_sessions = 100'000) {
+                         std::int64_t server_bps = 10'000'000'000, int server_sessions = 100'000,
+                         NegotiationConfig negotiation = {}) {
     transport = std::make_unique<TransportService>(
         Topology::dumbbell(num_clients, 2, access_bps, backbone_bps));
     for (int i = 0; i < 2; ++i) {
@@ -36,7 +37,8 @@ struct ServiceSystem {
       farm.add(std::move(config));
     }
     catalog.add(TestSystem::news_article());
-    manager = std::make_unique<QoSManager>(catalog, farm, *transport);
+    manager = std::make_unique<QoSManager>(catalog, farm, *transport, CostModel{},
+                                           std::move(negotiation));
     sessions = std::make_unique<SessionManager>(*manager);
     clients.reserve(static_cast<std::size_t>(num_clients));
     for (int i = 0; i < num_clients; ++i) {

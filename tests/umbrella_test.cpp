@@ -28,7 +28,7 @@ TEST(Umbrella, EndToEndWithSingleInclude) {
   QoSManager manager(catalog, farm, transport);
   SessionManager sessions(manager);
   const UserProfile profile = standard_profile_mix()[1];
-  NegotiationResult outcome = manager.negotiate(client, catalog.list().front(), profile);
+  NegotiationResult outcome = manager.negotiate(make_negotiation_request(client, catalog.list().front(), profile));
   ASSERT_TRUE(outcome.has_commitment()) << render_summary(outcome);
   auto id = sessions.open(client, profile, std::move(outcome), 0.0);
   ASSERT_TRUE(id.ok());
