@@ -1,12 +1,11 @@
 #!/bin/sh
-# Gate on deprecated API surface. Two kinds of checks:
-#  - removed names (NegotiationOutcome / ServiceResponse): their deprecation
-#    PR is over and the aliases are deleted; nothing may reintroduce a
-#    reference.
-#  - one-PR migration shims (ServiceRequest, the multi-argument
-#    negotiate()/negotiate_document() overloads): they exist for exactly one
-#    PR so downstreams can migrate, and only their definition sites may
-#    mention them. Next PR deletes the shims and drops their allowlists.
+# Gate on deprecated API surface. All former migration shims are deleted:
+#  - removed names (NegotiationOutcome / ServiceResponse / ServiceRequest /
+#    negotiate_document and the multi-argument negotiate() overload): their
+#    deprecation window is over; nothing may reintroduce a reference.
+#  - no [[deprecated]] marker may appear anywhere in compiled code: a new
+#    migration shim needs its own PR (with an allowlist added here), not a
+#    silent reintroduction.
 # Run from anywhere; registered with ctest as check_no_deprecated.
 set -eu
 
@@ -25,29 +24,27 @@ check() {
         hits="$(printf '%s\n' "$hits" | grep -v "$allowed" || true)"
     done
     if [ -n "$hits" ]; then
-        echo "deprecated surface '$label' is still referenced outside its definition:" >&2
+        echo "removed surface '$label' is referenced:" >&2
         echo "$hits" >&2
         status=1
     fi
 }
 
-# Removed aliases: no exemptions — they must not come back.
+# Removed aliases and shims: no exemptions — they must not come back.
 check "NegotiationOutcome" "NegotiationOutcome"
 check "ServiceResponse" "ServiceResponse"
-
-# One-PR shims: allowed only where they are defined (and converted).
-check "ServiceRequest" "ServiceRequest" \
-    "src/service/negotiation_service.hpp" \
-    "src/service/negotiation_service.cpp"
-# Legacy multi-argument negotiate()/negotiate_document() calls: anything
-# passing 2+ comma-separated bare arguments. Migrated call sites pass a
-# single make_negotiation_request(...) whose inner parentheses keep this
-# pattern from matching.
-check "negotiate(client, document, ...)" "\bnegotiate(_document)?\([^()]*,[^()]*," \
-    "src/core/qos_manager.hpp" \
-    "src/core/qos_manager.cpp"
+check "ServiceRequest" "ServiceRequest"
+check "negotiate_document" "\bnegotiate_document\b"
+# Legacy multi-argument negotiate() calls: anything passing 2+
+# comma-separated bare arguments. Current call sites pass a single
+# make_negotiation_request(...) / NegotiationRequest whose inner parentheses
+# keep this pattern from matching.
+check "negotiate(client, document, ...)" "\bnegotiate\([^()]*,[^()]*,"
+# No live [[deprecated]] markers: deprecations are one-PR affairs that must
+# arrive with their own allowlist entry in this script.
+check "[[deprecated]] marker" "\[\[deprecated"
 
 if [ "$status" -eq 0 ]; then
-    echo "ok: deprecated surface appears only at its definition sites"
+    echo "ok: no removed API surface or deprecation markers present"
 fi
 exit "$status"

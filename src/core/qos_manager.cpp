@@ -269,16 +269,4 @@ NegotiationResult QoSManager::run_plan(const NegotiationRequest& request,
   return result;
 }
 
-NegotiationResult QoSManager::negotiate(const ClientMachine& client,
-                                        const DocumentId& document_id,
-                                        const UserProfile& profile, TraceContext trace) {
-  return negotiate(make_negotiation_request(client, document_id, profile, trace));
-}
-
-NegotiationResult QoSManager::negotiate_document(
-    const ClientMachine& client, std::shared_ptr<const MultimediaDocument> document,
-    const UserProfile& profile, TraceContext trace) {
-  return negotiate(make_negotiation_request(client, std::move(document), profile, trace));
-}
-
 }  // namespace qosnp

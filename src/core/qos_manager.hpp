@@ -78,15 +78,6 @@ class QoSManager {
   /// only the Step-5 commit walk.
   NegotiationResult negotiate(const NegotiationRequest& request);
 
-  /// Pre-redesign entry points; build a NegotiationRequest instead.
-  [[deprecated("pass a NegotiationRequest to negotiate()")]]
-  NegotiationResult negotiate(const ClientMachine& client, const DocumentId& document,
-                              const UserProfile& profile, TraceContext trace = {});
-  [[deprecated("pass a NegotiationRequest (with `resolved` set) to negotiate()")]]
-  NegotiationResult negotiate_document(const ClientMachine& client,
-                                       std::shared_ptr<const MultimediaDocument> document,
-                                       const UserProfile& profile, TraceContext trace = {});
-
   /// Step 5 in isolation: walk `offers` best-to-worst, first the offers
   /// satisfying the user requirements, then the rest, skipping indices in
   /// `exclude`; commit the first that the servers and the transport accept.

@@ -44,6 +44,40 @@ UserProfile default_user_profile() {
   return p;
 }
 
+UserProfile demanding_user_profile() {
+  UserProfile p = default_user_profile();
+  p.name = "demanding";
+  p.mm.video->desired = VideoQoS{ColorDepth::kSuperColor, 30, 1280};
+  p.mm.video->worst = VideoQoS{ColorDepth::kColor, 25, kTvResolution};
+  p.mm.audio->desired = AudioQoS{AudioQuality::kCD};
+  p.mm.audio->worst = AudioQoS{AudioQuality::kRadio};
+  p.mm.image->desired = ImageQoS{ColorDepth::kSuperColor, 1280};
+  p.mm.image->worst = ImageQoS{ColorDepth::kColor, 320};
+  p.mm.cost.max_cost = Money::dollars(25);
+  p.importance.cost_per_dollar = 1.0;
+  return p;
+}
+
+UserProfile typical_user_profile() {
+  UserProfile p = default_user_profile();
+  p.name = "typical";
+  return p;
+}
+
+UserProfile thrifty_user_profile() {
+  UserProfile p = default_user_profile();
+  p.name = "thrifty";
+  p.mm.video->desired = VideoQoS{ColorDepth::kColor, 15, 320};
+  p.mm.video->worst = VideoQoS{ColorDepth::kBlackWhite, 10, 320};
+  p.mm.audio->desired = AudioQoS{AudioQuality::kRadio};
+  p.mm.audio->worst = AudioQoS{AudioQuality::kTelephone};
+  p.mm.image->desired = ImageQoS{ColorDepth::kGray, 320};
+  p.mm.image->worst = ImageQoS{ColorDepth::kBlackWhite, 320};
+  p.mm.cost.max_cost = Money::dollars(3);
+  p.importance.cost_per_dollar = 8.0;
+  return p;
+}
+
 std::vector<std::string> validate(const UserProfile& profile) {
   std::vector<std::string> problems;
   if (profile.name.empty()) problems.push_back("profile has an empty name");

@@ -91,6 +91,15 @@ struct UserProfile {
 /// A sensible default profile (the one the QoS GUI preloads).
 UserProfile default_user_profile();
 
+/// Named presets of the standard population (paper Sec. 3's spectrum of
+/// users): "demanding" wants high quality and pays for it, "typical" is
+/// default_user_profile() under its population name, "thrifty" trades
+/// quality for cost aggressively. Shared by the experiment profile mix and
+/// the population simulation's client classes.
+UserProfile demanding_user_profile();
+UserProfile typical_user_profile();
+UserProfile thrifty_user_profile();
+
 /// Validation problem list for a profile (empty when well-formed).
 std::vector<std::string> validate(const UserProfile& profile);
 

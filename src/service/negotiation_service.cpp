@@ -131,16 +131,6 @@ void NegotiationService::count_response(const NegotiationResult& result) {
   responses_by_verdict_[static_cast<std::size_t>(result.verdict)]->inc();
 }
 
-std::future<NegotiationResult> NegotiationService::submit(ServiceRequest request) {
-  NegotiationRequest migrated;
-  migrated.id = request.id;
-  migrated.client = std::move(request.client);
-  migrated.document = std::move(request.document);
-  migrated.profile = std::move(request.profile);
-  migrated.accept_degraded = request.accept_degraded;
-  return submit(std::move(migrated));
-}
-
 std::future<NegotiationResult> NegotiationService::submit(NegotiationRequest request) {
   requests_total_->inc();
   Item item;

@@ -74,20 +74,6 @@ struct ServiceConfig {
   static ServiceConfig validated(ServiceConfig config);
 };
 
-/// Pre-redesign submit payload; build a NegotiationRequest instead. Kept
-/// (non-deprecated as a type) so the converting submit() overload below can
-/// migrate old call sites in one step; both go next PR.
-struct ServiceRequest {
-  std::uint64_t id = 0;
-  ClientMachine client;
-  DocumentId document;
-  UserProfile profile;
-  /// The user's Step 6 stance on a degraded offer (FAILEDWITHOFFER),
-  /// pre-drawn by the load generator's per-request RNG: false = the
-  /// commitment is released and only the verdict is returned.
-  bool accept_degraded = true;
-};
-
 /// Aggregated service-level snapshot, assembled from the metrics registry.
 /// `by_status` covers every resolved request, sheds included (they count as
 /// FAILEDTRYLATER).
@@ -147,10 +133,6 @@ class NegotiationService {
   /// own per-request trace when a TraceSink is configured.
   std::future<NegotiationResult> submit(NegotiationRequest request);
 
-  /// Pre-redesign entry point; build a NegotiationRequest instead.
-  [[deprecated("pass a NegotiationRequest to submit()")]]
-  std::future<NegotiationResult> submit(ServiceRequest request);
-
   std::size_t queue_depth() const { return queue_.size(); }
   /// Service clock: seconds since construction (the time base sessions are
   /// opened/confirmed against).
@@ -165,6 +147,9 @@ class NegotiationService {
   const MetricsRegistry& metrics() const { return *metrics_; }
 
   SessionManager& sessions() { return *sessions_; }
+
+  /// The validated configuration the service runs with.
+  const ServiceConfig& config() const { return config_; }
 
  private:
   struct Item {

@@ -1,0 +1,47 @@
+// Population backend driving the concurrent NegotiationService: each
+// simulated user's request goes through the bounded queue and worker pool
+// (Steps 1-5 plus session admission), and the population's event loop blocks
+// on the response future. One request is in flight at a time, so a
+// same-seed run is byte-identical no matter how many workers the service
+// runs — this backend verifies the full concurrent stack under the
+// population workload (tsan included); queueing dynamics under true
+// concurrency are bench_e16's job.
+//
+// The service must run with ServiceConfig::auto_confirm = false: Step 6
+// (confirm within choicePeriod, abandon, or time out) belongs to the
+// population, not the worker.
+#pragma once
+
+#include <stdexcept>
+#include <utility>
+
+#include "service/negotiation_service.hpp"
+#include "sim/population.hpp"
+
+namespace qosnp {
+
+class ServicePopulationBackend final : public PopulationBackend {
+ public:
+  explicit ServicePopulationBackend(NegotiationService& service) : service_(&service) {
+    if (service.config().auto_confirm) {
+      throw std::invalid_argument(
+          "ServicePopulationBackend: the service must run with auto_confirm=false "
+          "(the population drives Step 6 itself)");
+    }
+  }
+
+  NegotiationResult negotiate(NegotiationRequest request, double /*sim_now_s*/) override {
+    return service_->submit(std::move(request)).get();
+  }
+
+  SessionManager& sessions() override { return service_->sessions(); }
+
+  /// Sessions opened by the service live on its wall clock, not the
+  /// simulation clock.
+  double session_now_s(double /*sim_now_s*/) const override { return service_->now_s(); }
+
+ private:
+  NegotiationService* service_;
+};
+
+}  // namespace qosnp

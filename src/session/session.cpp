@@ -25,10 +25,14 @@ void SessionManager::unindex_commitment_locked(Session& s) {
 }
 
 void SessionManager::finish_locked(Session& s, SessionState state, const std::string& reason) {
+  if (s.state == SessionState::kCompleted || s.state == SessionState::kAborted) {
+    return;  // already finished and released; a second finish must not re-count
+  }
   unindex_commitment_locked(s);
   s.commitment.release();
   s.state = state;
   s.abort_reason = reason;
+  released_total_ += 1;
 }
 
 Result<SessionId> SessionManager::open(const ClientMachine& client, const UserProfile& profile,
@@ -53,6 +57,7 @@ Result<SessionId> SessionManager::open(const ClientMachine& client, const UserPr
   index_commitment_locked(*session);
   const SessionId id = session->id;
   sessions_[id] = std::move(session);
+  opened_total_ += 1;
   return id;
 }
 
@@ -247,6 +252,31 @@ std::size_t SessionManager::active_count() const {
     }
   }
   return n;
+}
+
+std::size_t SessionManager::opened_total() const {
+  std::lock_guard lk(mu_);
+  return opened_total_;
+}
+
+std::size_t SessionManager::released_total() const {
+  std::lock_guard lk(mu_);
+  return released_total_;
+}
+
+std::size_t SessionManager::prune_finished() {
+  std::lock_guard lk(mu_);
+  std::size_t erased = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    const SessionState state = it->second->state;
+    if (state == SessionState::kCompleted || state == SessionState::kAborted) {
+      it = sessions_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
 }
 
 std::vector<SessionId> SessionManager::playing_sessions() const {

@@ -148,6 +148,17 @@ class SessionManager {
 
   std::optional<SessionView> snapshot(SessionId id) const;
   std::size_t active_count() const;
+  /// Lifetime accounting: sessions opened / finished (resources released)
+  /// since construction. opened_total() == released_total() iff every
+  /// session ever opened has reached a terminal state — the conservation law
+  /// of the population lifecycle suite.
+  std::size_t opened_total() const;
+  std::size_t released_total() const;
+  /// Drop finished (completed/aborted) sessions from the table, returning
+  /// how many were erased; live sessions are untouched and the lifetime
+  /// counters keep counting pruned sessions. Population-scale runs call this
+  /// periodically so memory tracks the *live* population, not the total one.
+  std::size_t prune_finished();
   /// Ids of sessions currently playing (sorted).
   std::vector<SessionId> playing_sessions() const;
 
@@ -167,6 +178,8 @@ class SessionManager {
   std::unordered_map<SessionId, std::unique_ptr<Session>> sessions_;
   std::unordered_map<FlowId, SessionId> flow_index_;
   SessionId next_id_ = 1;
+  std::size_t opened_total_ = 0;    ///< guarded by mu_
+  std::size_t released_total_ = 0;  ///< guarded by mu_
 };
 
 }  // namespace qosnp

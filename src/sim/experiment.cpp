@@ -40,37 +40,7 @@ std::string SimMetrics::summary() const {
 }
 
 std::vector<UserProfile> standard_profile_mix() {
-  std::vector<UserProfile> mix;
-
-  UserProfile demanding = default_user_profile();
-  demanding.name = "demanding";
-  demanding.mm.video->desired = VideoQoS{ColorDepth::kSuperColor, 30, 1280};
-  demanding.mm.video->worst = VideoQoS{ColorDepth::kColor, 25, kTvResolution};
-  demanding.mm.audio->desired = AudioQoS{AudioQuality::kCD};
-  demanding.mm.audio->worst = AudioQoS{AudioQuality::kRadio};
-  demanding.mm.image->desired = ImageQoS{ColorDepth::kSuperColor, 1280};
-  demanding.mm.image->worst = ImageQoS{ColorDepth::kColor, 320};
-  demanding.mm.cost.max_cost = Money::dollars(25);
-  demanding.importance.cost_per_dollar = 1.0;
-  mix.push_back(demanding);
-
-  UserProfile typical = default_user_profile();
-  typical.name = "typical";
-  mix.push_back(typical);
-
-  UserProfile thrifty = default_user_profile();
-  thrifty.name = "thrifty";
-  thrifty.mm.video->desired = VideoQoS{ColorDepth::kColor, 15, 320};
-  thrifty.mm.video->worst = VideoQoS{ColorDepth::kBlackWhite, 10, 320};
-  thrifty.mm.audio->desired = AudioQoS{AudioQuality::kRadio};
-  thrifty.mm.audio->worst = AudioQoS{AudioQuality::kTelephone};
-  thrifty.mm.image->desired = ImageQoS{ColorDepth::kGray, 320};
-  thrifty.mm.image->worst = ImageQoS{ColorDepth::kBlackWhite, 320};
-  thrifty.mm.cost.max_cost = Money::dollars(3);
-  thrifty.importance.cost_per_dollar = 8.0;
-  mix.push_back(thrifty);
-
-  return mix;
+  return {demanding_user_profile(), typical_user_profile(), thrifty_user_profile()};
 }
 
 namespace {

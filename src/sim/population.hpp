@@ -1,0 +1,259 @@
+// Population-scale session-lifecycle simulation (ROADMAP item 2): instead
+// of uniform open/closed-loop request firing, a *population* of client
+// classes — each with its own Poisson arrival process, diurnal load-curve
+// modulation, exponential think and abandonment times, hardware template and
+// user profile — drives the complete paper lifecycle per simulated user:
+//
+//   negotiate (Steps 1-5)  ->  confirm within choicePeriod (Step 6)
+//     or abandon / time out  ->  playout  ->  optional mid-stream QoS
+//     violation -> adaptation down the remaining offer list  ->  release
+//
+// over src/sim's discrete-event queue. Every arrival ends in exactly one
+// terminal state (admitted, shed, refused, abandoned) and every admitted
+// session ends released (completed or preempt-released) — the conservation
+// laws the population_test suite and bench_e18_population check on every
+// replicate.
+//
+// Reproducibility: all per-user draws come from an RNG seeded purely by
+// (seed, arrival index) and all per-class arrival draws from an RNG seeded
+// by (seed, class index), so two same-seed runs produce byte-identical
+// outcome counts (PopulationMetrics::signature()) regardless of wall-clock
+// timing — including when driven through the concurrent NegotiationService,
+// because the event loop holds at most one request in flight.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "client/client_machine.hpp"
+#include "core/negotiation_request.hpp"
+#include "core/negotiation_result.hpp"
+#include "profile/profiles.hpp"
+#include "session/session.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace qosnp {
+
+/// Raised-cosine day profile modulating a class's arrival rate:
+/// factor(t) = 1 + amplitude * cos(2*pi*(t - peak_at_s)/period_s), so the
+/// instantaneous rate swings between (1-amplitude) and (1+amplitude) times
+/// the base rate with its maximum at peak_at_s. amplitude 0 = flat load.
+struct DiurnalCurve {
+  double period_s = 86'400.0;
+  double amplitude = 0.0;  ///< in [0, 1]
+  double peak_at_s = 0.0;  ///< time of the daily peak
+
+  double factor(double t_s) const;
+  double peak_factor() const { return 1.0 + amplitude; }
+};
+
+/// One class of the simulated population: who these users are (machine,
+/// profile) and how they behave (arrival, patience, tolerance).
+struct ClientClass {
+  std::string name = "standard";
+  /// Class hardware template; `machine.node` must name a client node of the
+  /// topology the system under test runs on.
+  ClientMachine machine;
+  UserProfile profile;
+
+  /// Base Poisson arrival rate, modulated by `diurnal`.
+  double arrival_rate_per_s = 0.1;
+  DiurnalCurve diurnal;
+
+  /// Mean of the exponential think time between the offer arriving and the
+  /// user's Step-6 confirmation.
+  double mean_think_s = 5.0;
+  /// Rate of the exponential abandonment timer racing the confirmation
+  /// (the user walks away mid-choicePeriod). 0 = never abandons early.
+  double abandon_rate_per_s = 0.0;
+  /// Probability the user keeps a degraded (FAILEDWITHOFFER) offer.
+  double accept_degraded_p = 1.0;
+  /// Fraction of the document duration actually watched.
+  double watch_fraction = 1.0;
+  /// Poisson rate of mid-stream QoS violations while the session plays;
+  /// each violation triggers the adaptation procedure.
+  double violation_rate_per_s = 0.0;
+};
+
+/// The reference population of ROADMAP item 2: cheap-mobile (limited
+/// hardware, thrifty profile, impatient), standard-desktop (typical), and
+/// premium (demanding profile, full decoder set, walks away from degraded
+/// offers). `machine.node` is left empty — attach each class to a topology
+/// client node before running.
+std::vector<ClientClass> standard_population();
+
+/// Per-class outcome accounting. Terminal states partition the arrivals:
+///   arrivals == admitted + shed + refused + abandoned
+/// and the admitted sessions partition into the released states:
+///   admitted == completed + preempt_released
+struct ClassCounts {
+  std::uint64_t arrivals = 0;
+
+  std::uint64_t admitted = 0;   ///< confirmed within choicePeriod, played
+  std::uint64_t shed = 0;       ///< FAILEDTRYLATER (overload or transient refusal)
+  std::uint64_t refused = 0;    ///< no usable offer, or degraded offer declined
+  std::uint64_t abandoned = 0;  ///< walked away (or timed out) during choicePeriod
+
+  std::uint64_t confirm_timeouts = 0;  ///< subset of abandoned: choicePeriod expired
+
+  std::uint64_t completed = 0;         ///< played to the end of the watch window
+  std::uint64_t preempt_released = 0;  ///< released mid-stream (adaptation failed)
+
+  std::uint64_t violations = 0;
+  std::uint64_t adaptations = 0;
+  std::uint64_t failed_adaptations = 0;
+  double interruption_s = 0.0;  ///< summed adaptation transition time
+
+  std::uint64_t released() const { return completed + preempt_released; }
+  bool conserved() const {
+    return arrivals == admitted + shed + refused + abandoned &&
+           admitted == completed + preempt_released && confirm_timeouts <= abandoned &&
+           violations == adaptations + failed_adaptations;
+  }
+  void add(const ClassCounts& other);
+};
+
+struct PopulationMetrics {
+  std::vector<std::string> class_names;  ///< parallel to by_class
+  std::vector<ClassCounts> by_class;
+
+  ClassCounts totals() const;
+  /// Every class conserved (see ClassCounts::conserved).
+  bool conserved() const;
+  /// Exhaustive textual image of the per-class outcome counts; two same-seed
+  /// runs must produce byte-identical signatures.
+  std::string signature() const;
+
+  double shed_rate() const;
+  double admission_rate() const;
+  double adaptation_success_rate() const;
+};
+
+/// How the population drives negotiation and admission. Implementations run
+/// Steps 1-5 and, on a kept offer, open the session pending confirmation
+/// (Step 6 stays with the population: confirm, abandon, or time out).
+class PopulationBackend {
+ public:
+  virtual ~PopulationBackend() = default;
+
+  /// Negotiate one request. When an offer was committed and kept (SUCCEEDED,
+  /// or FAILEDWITHOFFER with request.accept_degraded), the result carries the
+  /// id of a session opened pending confirmation; a declined degraded offer
+  /// is released before returning. The returned result is stripped of the
+  /// offer list and commitment — they belong to the opened session.
+  virtual NegotiationResult negotiate(NegotiationRequest request, double sim_now_s) = 0;
+
+  virtual SessionManager& sessions() = 0;
+
+  /// Timestamp for SessionManager calls: the backend's session time base may
+  /// differ from the simulation clock (the service opens sessions against
+  /// its own wall clock).
+  virtual double session_now_s(double sim_now_s) const { return sim_now_s; }
+};
+
+/// Direct in-process backend: QoSManager::negotiate + SessionManager::open,
+/// with the simulation clock as the session time base. Single-threaded and
+/// the fastest way to push millions of simulated users through the stack.
+class ManagerPopulationBackend final : public PopulationBackend {
+ public:
+  ManagerPopulationBackend(QoSManager& manager, SessionManager& sessions)
+      : manager_(&manager), sessions_(&sessions) {}
+
+  /// Observe every raw NegotiationResult as produced by the manager, before
+  /// admission strips the offers/commitment — the hook the differential
+  /// suite uses to compare against direct QoSManager::negotiate calls.
+  void set_result_observer(std::function<void(const NegotiationResult&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  NegotiationResult negotiate(NegotiationRequest request, double sim_now_s) override;
+  SessionManager& sessions() override { return *sessions_; }
+
+ private:
+  QoSManager* manager_;
+  SessionManager* sessions_;
+  std::function<void(const NegotiationResult&)> observer_;
+};
+
+/// The per-user random draws, consumed from the user's RNG in this fixed,
+/// documented order: document, accept-degraded stance, think time,
+/// abandonment time. The RNG is left positioned for the user's mid-stream
+/// violation stream, so a caller holding (seed, arrival index) can replay
+/// any user's entire behaviour exactly.
+struct UserDraws {
+  DocumentId document;
+  bool accept_degraded = true;
+  double think_s = 0.0;
+  double abandon_s = 0.0;  ///< +infinity when the class never abandons early
+};
+
+UserDraws draw_user(const ClientClass& cls, Rng& rng, std::span<const DocumentId> documents);
+
+/// The per-user RNG stream: same (seed, arrival index) => same draws, no
+/// matter which class the arrival belongs to or what happened before it.
+inline Rng user_rng(std::uint64_t seed, std::uint64_t arrival_index) {
+  return Rng(seed + arrival_index * 0x9e3779b97f4a7c15ULL);
+}
+
+struct PopulationConfig {
+  std::vector<ClientClass> classes;
+  /// Arrivals stop at this simulation time; every lifecycle already started
+  /// still runs to its terminal state before run() returns.
+  double duration_s = 1'000.0;
+  std::uint64_t seed = 1;
+  /// Plan-cache policy stamped on every request.
+  CacheUse cache = CacheUse::kDefault;
+  /// Drop finished sessions from the SessionManager table every this many
+  /// simulated seconds, keeping memory proportional to the *live* population
+  /// instead of the total one. 0 disables pruning.
+  double prune_interval_s = 50.0;
+  /// Optional arrival hook (class index, simulation time) — load-curve
+  /// histograms and the like.
+  std::function<void(std::size_t, double)> arrival_observer;
+
+  /// Throws std::invalid_argument when unusable (no classes, negative rates
+  /// or durations, diurnal amplitude outside [0, 1], probabilities outside
+  /// [0, 1]).
+  static PopulationConfig validated(PopulationConfig config);
+};
+
+/// One population replicate: seeds the arrival processes, runs every
+/// lifecycle to its terminal state through the backend, and reports per-class
+/// outcome counts. Constructing validates the config (throws
+/// std::invalid_argument; documents must be non-empty).
+class Population {
+ public:
+  Population(PopulationConfig config, PopulationBackend& backend,
+             std::vector<DocumentId> documents);
+
+  /// Run the replicate to completion. Each call is an independent replicate
+  /// of the same configuration (fresh clock, fresh arrival processes) —
+  /// though against whatever state the backend's system is in by then.
+  PopulationMetrics run();
+
+ private:
+  void schedule_next_arrival(std::size_t class_index);
+  void arrive(std::size_t class_index);
+  void begin_playout(std::size_t class_index, SessionId session, Rng rng);
+  void schedule_next_violation(std::size_t class_index, SessionId session, Rng rng,
+                               double end_at_s);
+  void finish_playout(std::size_t class_index, SessionId session, double watched_s);
+  void schedule_prune();
+
+  PopulationConfig config_;
+  PopulationBackend* backend_;
+  std::vector<DocumentId> documents_;
+
+  // Per-run state, reset at the top of run().
+  EventQueue queue_;
+  PopulationMetrics metrics_;
+  std::vector<Rng> arrival_rngs_;  ///< one per class
+  std::uint64_t next_arrival_index_ = 0;
+};
+
+}  // namespace qosnp

@@ -20,6 +20,7 @@
 #include "core/qos_manager.hpp"
 #include "document/corpus.hpp"
 #include "fault/fault_injector.hpp"
+#include "result_signature.hpp"
 #include "service/negotiation_service.hpp"
 #include "test_system.hpp"
 #include "util/rng.hpp"
@@ -28,33 +29,7 @@ namespace qosnp {
 namespace {
 
 using testing::TestSystem;
-
-/// Exhaustive textual image of a NegotiationResult's procedure fields; two
-/// results with equal signatures are byte-identical as far as any caller can
-/// observe (doubles rendered at full precision).
-std::string result_signature(const NegotiationResult& r) {
-  std::ostringstream os;
-  os << std::setprecision(17);
-  os << "verdict=" << to_string(r.verdict) << '\n';
-  os << "committed=" << r.committed_index << '\n';
-  for (const std::string& p : r.problems) os << "problem=" << p << '\n';
-  if (r.user_offer) {
-    os << "user_offer=" << r.user_offer->describe() << " cost="
-       << r.user_offer->cost.as_micros() << '\n';
-  }
-  os << "total=" << r.offers.total_combinations << " truncated=" << r.offers.truncated
-     << " sns_ordered=" << r.offers.sns_ordered << '\n';
-  for (const SystemOffer& o : r.offers.offers) {
-    os << "offer sns=" << to_string(o.sns) << " oif=" << o.oif
-       << " cost=" << o.total_cost().as_micros();
-    for (const OfferComponent& c : o.components) os << ' ' << c.variant->id;
-    os << '\n';
-  }
-  os << "attempts=" << r.commit_stats.attempts << " retries=" << r.commit_stats.retries
-     << " transient=" << r.commit_stats.transient_failures
-     << " released=" << r.commit_stats.released_on_failure << '\n';
-  return os.str();
-}
+using testing::result_signature;
 
 /// Same randomised profile space as the offer-stream differential suite.
 UserProfile random_profile(Rng& rng) {
