@@ -10,7 +10,10 @@
 //   - capacity monotonicity: sustainable sessions/s never decreases with
 //     farm size;
 //   - conservation: every load point of every sweep satisfies the
-//     lifecycle partition laws, opened == released, and full drain.
+//     lifecycle partition laws, opened == released, and full drain;
+//   - class differentiation: at 2x sustainable load with the preemption
+//     policy on, the premium shed rate sits strictly below the best-effort
+//     one, and two same-seed policy-enabled runs stay byte-identical.
 #include <cstdint>
 #include <iostream>
 #include <memory>
@@ -19,6 +22,7 @@
 
 #include "bench_util.hpp"
 #include "document/corpus.hpp"
+#include "policy/preemption.hpp"
 #include "session/session.hpp"
 #include "sim/population.hpp"
 
@@ -58,14 +62,16 @@ struct FarmSystem {
   ServerFarm farm;
   std::unique_ptr<QoSManager> manager;
   std::unique_ptr<SessionManager> sessions;
+  std::unique_ptr<PolicyEngine> policy;
   ManagerPopulationBackend backend;
   std::vector<DocumentId> documents;
 
-  explicit FarmSystem(int n)
+  explicit FarmSystem(int n, ClassHeadroom headroom = {})
       : transport(std::make_unique<TransportService>(Topology::dumbbell(
             kClients, n, /*access_bps=*/600'000'000,
             /*backbone_bps=*/static_cast<std::int64_t>(n) * 150'000'000))),
-        backend(make_backend(n)) {
+        backend(make_backend(n, headroom)) {
+    transport->set_class_headroom(headroom);
     for (MultimediaDocument doc : base_corpus()) {
       for (int k = 1; k < n; ++k) {
         for (Monomedia& mono : doc.monomedia) {
@@ -91,6 +97,19 @@ struct FarmSystem {
     return Population(config, backend, documents).run();
   }
 
+  /// Route negotiations through a preemption/upgrade engine (classes win by
+  /// rank under congestion; upgrades are scanned on the simulation clock).
+  /// The premium population demands far more capacity per session than the
+  /// cheap classes, so inverting the shed-rate ordering takes a generous
+  /// victim budget on top of the admission headroom.
+  void enable_policy() {
+    PreemptionPolicy preemption;
+    preemption.enabled = true;
+    preemption.max_victims = 32;
+    policy = std::make_unique<PolicyEngine>(*manager, *sessions, preemption);
+    backend.set_policy(policy.get());
+  }
+
   bool drained() const {
     std::int64_t reserved = 0;
     int slots = 0;
@@ -103,13 +122,14 @@ struct FarmSystem {
   }
 
  private:
-  ManagerPopulationBackend make_backend(int n) {
+  ManagerPopulationBackend make_backend(int n, const ClassHeadroom& headroom) {
     for (int i = 0; i < n; ++i) {
       MediaServerConfig server;
       server.id = "server-" + std::to_string(i);
       server.node = "server-node-" + std::to_string(i);
       server.disk_bandwidth_bps = 150'000'000;
       server.max_sessions = 48;
+      server.headroom = headroom;
       farm.add(std::move(server));
     }
     manager = std::make_unique<QoSManager>(catalog, farm, *transport);
@@ -255,6 +275,65 @@ int main() {
                      pct(metrics.adaptation_success_rate()), pct(metrics.shed_rate())});
   }
   adapt_table.print();
+
+  // --- Mixed-class overload under the preemption policy. -------------------
+  bench::print_section("Mixed-class overload (policy on, 2x sustainable, farm of 2)");
+  {
+    auto policy_run = [&](const std::string& context) {
+      // Withhold 30% of every resource from best-effort and 15% from
+      // standard: the premium population's sessions are the biggest, so
+      // preemption alone cannot invert the shed ordering.
+      ClassHeadroom headroom;
+      headroom.fraction = {0.30, 0.15, 0.0};
+      FarmSystem system(2, headroom);
+      system.enable_policy();
+      PopulationConfig config = population_at(sustainable_mult * 2.0);
+      config.upgrade_scan_interval_s = 5.0;
+      const PopulationMetrics metrics = system.run(config);
+      expect(metrics.conserved(),
+             context + ": lifecycle counts not conserved\n" + metrics.signature());
+      expect(system.sessions->opened_total() == system.sessions->released_total(),
+             context + ": opened != released");
+      expect(system.drained(), context + ": reservations survived the run");
+      return metrics;
+    };
+    const PopulationMetrics mixed = policy_run("mixed-class run A");
+
+    Table class_table({"class", "arrivals", "admitted", "shed", "shed rate", "preempted",
+                       "degraded", "upgrades"});
+    std::vector<double> shed_rates(mixed.by_class.size(), 0.0);
+    for (std::size_t i = 0; i < mixed.by_class.size(); ++i) {
+      const ClassCounts& c = mixed.by_class[i];
+      shed_rates[i] =
+          c.arrivals == 0 ? 0.0 : static_cast<double>(c.shed) / static_cast<double>(c.arrivals);
+      class_table.row({mixed.class_names[i], std::to_string(c.arrivals),
+                       std::to_string(c.admitted), std::to_string(c.shed), pct(shed_rates[i]),
+                       std::to_string(c.policy_preempted), std::to_string(c.policy_degraded),
+                       std::to_string(c.upgrades)});
+    }
+    class_table.print();
+
+    // Class index 0 is cheap-mobile (best_effort), index 2 is premium — the
+    // policy's whole point is that the premium shed rate sits strictly below
+    // the best-effort one under overload.
+    expect(mixed.by_class.size() == 3, "expected the 3-class standard population");
+    if (mixed.by_class.size() == 3) {
+      expect(mixed.by_class[0].arrivals > 0 && mixed.by_class[2].arrivals > 0,
+             "mixed-class run produced no arrivals in a compared class");
+      expect(shed_rates[2] < shed_rates[0],
+             "premium shed rate (" + pct(shed_rates[2]) +
+                 ") not strictly below best-effort shed rate (" + pct(shed_rates[0]) + ")");
+      const ClassCounts t = mixed.totals();
+      expect(t.policy_preempted + t.policy_degraded > 0,
+             "2x overload never exercised the preemption policy");
+    }
+
+    const PopulationMetrics mixed_b = policy_run("mixed-class run B");
+    expect(mixed.signature() == mixed_b.signature(),
+           "two same-seed policy-enabled runs diverged");
+    std::cout << "  policy-enabled same-seed replicates byte-identical: "
+              << check(mixed.signature() == mixed_b.signature()) << '\n';
+  }
 
   // --- Diurnal load curve. -------------------------------------------------
   bench::print_section("Diurnal modulation (amplitude 0.8, peak mid-replicate)");

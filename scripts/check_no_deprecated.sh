@@ -44,6 +44,15 @@ check "negotiate(client, document, ...)" "\bnegotiate\([^()]*,[^()]*,"
 # arrive with their own allowlist entry in this script.
 check "[[deprecated]] marker" "\[\[deprecated"
 
+# Coverage guard: the directories this gate sweeps must actually exist (a
+# moved/renamed subsystem would otherwise silently fall out of coverage).
+for dir in src/core src/service src/session src/policy src/sim src/obs tests bench; do
+    if [ ! -d "$repo/$dir" ]; then
+        echo "coverage guard: expected directory '$dir' is missing" >&2
+        status=1
+    fi
+done
+
 if [ "$status" -eq 0 ]; then
     echo "ok: no removed API surface or deprecation markers present"
 fi

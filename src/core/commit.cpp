@@ -38,7 +38,11 @@ Result<Commitment, Refusal> ResourceCommitter::commit_once(const ClientMachine& 
       return permanent_refusal(c.variant->server,
                                "variant '" + c.variant->id + "' lives on unknown server");
     }
-    auto stream = server->admit(c.requirements);
+    // Stamp the owning session's class so headroom-differentiated admission
+    // at the server and the transport knows who is asking.
+    StreamRequirements requirements = c.requirements;
+    requirements.session_class = session_class_;
+    auto stream = server->admit(requirements);
     if (!stream.ok()) {
       // RAII: commitment's handles release everything reserved so far.
       stats.released_on_failure +=
@@ -47,7 +51,7 @@ Result<Commitment, Refusal> ResourceCommitter::commit_once(const ClientMachine& 
     }
     commitment.streams_.emplace_back(server, stream.value());
 
-    auto flow = transport_->reserve(server->node(), client.node, c.requirements);
+    auto flow = transport_->reserve(server->node(), client.node, requirements);
     if (!flow.ok()) {
       stats.released_on_failure +=
           static_cast<int>(commitment.stream_count() + commitment.flow_count());

@@ -121,8 +121,14 @@ class Commitment {
 
 class ResourceCommitter {
  public:
-  ResourceCommitter(ServerProvider& farm, TransportProvider& transport, RetryPolicy retry = {})
-      : farm_(&farm), transport_(&transport), retry_(retry), jitter_rng_(retry.seed) {}
+  /// `session_class` is stamped onto every StreamRequirements this committer
+  /// presents to the servers and the transport, so headroom-differentiated
+  /// admission sees who is asking. The default class with zero headroom is
+  /// byte-identical to the class-blind behaviour.
+  ResourceCommitter(ServerProvider& farm, TransportProvider& transport, RetryPolicy retry = {},
+                    SessionClass session_class = SessionClass::kStandard)
+      : farm_(&farm), transport_(&transport), retry_(retry), jitter_rng_(retry.seed),
+        session_class_(session_class) {}
 
   /// Try to reserve all resources of `offer` for delivery to `client`,
   /// retrying transient refusals under the retry policy. The returned
@@ -144,6 +150,7 @@ class ResourceCommitter {
   TransportProvider* transport_;
   RetryPolicy retry_;
   Rng jitter_rng_;
+  SessionClass session_class_ = SessionClass::kStandard;
   CommitStats stats_;
 };
 

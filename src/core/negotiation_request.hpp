@@ -14,6 +14,7 @@
 #include "client/client_machine.hpp"
 #include "document/model.hpp"
 #include "obs/trace.hpp"
+#include "policy/session_class.hpp"
 #include "profile/profiles.hpp"
 
 namespace qosnp {
@@ -40,6 +41,13 @@ struct NegotiationRequest {
   std::shared_ptr<const MultimediaDocument> resolved;
 
   UserProfile profile;
+
+  /// Who wins under congestion: the class is stamped on every stream
+  /// reservation (headroom-differentiated admission at the farm/transport),
+  /// carried onto the opened session, and read by the preemption policy —
+  /// a class may only preempt sessions of strictly lower class. The default
+  /// keeps every pre-policy call site byte-identical.
+  SessionClass session_class = SessionClass::kStandard;
 
   /// Service-side deadline override in milliseconds (0 = use the service
   /// default). Ignored by direct QoSManager::negotiate calls.

@@ -27,10 +27,12 @@ UserOffer local_offer_from(const MMProfile& clipped) {
 CommitAttempt QoSManager::commit_first(const ClientMachine& client, OfferList& offers,
                                        const MMProfile& profile,
                                        std::span<const std::size_t> exclude,
-                                       TraceContext trace) {
+                                       TraceContext trace, SessionClass session_class,
+                                       std::size_t end_index) {
   CommitAttempt attempt;
   ScopedSpan walk_span(trace, Stage::kCommitWalk);
-  ResourceCommitter committer(*farm_, *transport_, config_.retry);
+  walk_span.annotate("class", std::string(to_string(session_class)));
+  ResourceCommitter committer(*farm_, *transport_, config_.retry, session_class);
   auto excluded = [&](std::size_t i) {
     return std::find(exclude.begin(), exclude.end(), i) != exclude.end();
   };
@@ -41,6 +43,10 @@ CommitAttempt QoSManager::commit_first(const ClientMachine& client, OfferList& o
   // acceptable) system offers").
   for (int pass = 0; pass < 2; ++pass) {
     for (std::size_t i = 0;; ++i) {
+      // The caller may bound the walk (upgrade scans try only offers
+      // strictly better than the session's current one); the bound also
+      // stops the lazy stream from materialising past it.
+      if (i >= end_index) break;
       // Materialise the next offer from the lazy stream when the walk runs
       // off the end of the consumed prefix.
       if (i >= offers.offers.size() && !offers.fetch_next()) break;
@@ -245,7 +251,7 @@ NegotiationResult QoSManager::run_plan(const NegotiationRequest& request,
 
   // Step 5: resource commitment.
   CommitAttempt attempt = commit_first(request.client, result.offers, request.profile.mm, {},
-                                       trace);
+                                       trace, request.session_class);
   result.commit_stats = attempt.stats;
   if (!attempt.ok()) {
     // FAILEDTRYLATER promises that trying later could succeed; keep that

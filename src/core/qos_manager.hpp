@@ -84,11 +84,17 @@ class QoSManager {
   /// Also the engine of the adaptation procedure (exclude = offers already
   /// tried or in difficulty). Takes the list by mutable reference because a
   /// lazy list materialises further offers from its stream as the walk
-  /// reaches them.
+  /// reaches them. `session_class` is stamped onto every reservation the
+  /// walk attempts; `end_index` restricts the walk to offers with index
+  /// strictly below it (the upgrade scanner passes the session's current
+  /// offer so only strictly better entries are tried — and a lazy list never
+  /// materialises past the bound).
   CommitAttempt commit_first(const ClientMachine& client, OfferList& offers,
                              const MMProfile& profile,
                              std::span<const std::size_t> exclude = {},
-                             TraceContext trace = {});
+                             TraceContext trace = {},
+                             SessionClass session_class = SessionClass::kStandard,
+                             std::size_t end_index = SIZE_MAX);
 
   const CostModel& cost_model() const { return cost_model_; }
   const NegotiationConfig& config() const { return config_; }

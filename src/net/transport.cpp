@@ -37,9 +37,17 @@ Result<FlowId, Refusal> TransportService::reserve(const NodeId& src, const NodeI
       if (last_error.empty()) return permanent_refusal("transport", path.error());
       return transient_refusal("transport", last_error);
     }
+    // Headroom-differentiated admission: a class with headroom h only sees
+    // capacity * (1 - h) of each link (h <= 0 keeps the class-blind path
+    // free of any floating-point round-trip).
+    const double h = headroom_.for_class(req.session_class);
     const std::size_t* bottleneck = nullptr;
     for (const std::size_t& link : path.value()) {
-      if (reserved_[link] + rate > effective_capacity_[link]) {
+      const std::int64_t usable =
+          h <= 0.0 ? effective_capacity_[link]
+                   : static_cast<std::int64_t>(std::llround(
+                         static_cast<double>(effective_capacity_[link]) * (1.0 - h)));
+      if (reserved_[link] + rate > usable) {
         bottleneck = &link;
         break;
       }
@@ -145,6 +153,12 @@ bool TransportService::accounting_consistent() const {
     }
   }
   return reserved == reserved_ && counts == link_flow_count_;
+}
+
+void TransportService::set_class_headroom(ClassHeadroom headroom) {
+  headroom = ClassHeadroom::validated(headroom);
+  std::lock_guard lk(mu_);
+  headroom_ = headroom;
 }
 
 std::int64_t TransportService::total_reserved_bps() const {

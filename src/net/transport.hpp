@@ -100,11 +100,17 @@ class TransportService final : public TransportProvider {
   /// drain invariant of the service tests).
   std::int64_t total_reserved_bps() const;
 
+  /// Per-class admission headroom on every link: class C only fits while
+  /// reserved + rate <= effective_capacity * (1 - headroom[C]). All-zero
+  /// (the default) is class-blind admission. Validated on set.
+  void set_class_headroom(ClassHeadroom headroom);
+
  private:
   std::vector<FlowId> overfull_victims_locked(std::size_t link_index);
 
   mutable std::mutex mu_;
   Topology topology_;
+  ClassHeadroom headroom_;                        // guarded by mu_
   std::vector<std::int64_t> reserved_;            // per link
   std::vector<std::int64_t> effective_capacity_;  // per link
   std::vector<std::size_t> link_flow_count_;      // per link

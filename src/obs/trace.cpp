@@ -15,6 +15,8 @@ std::string_view to_string(Stage stage) {
     case Stage::kCommitWalk: return "commit-walk";
     case Stage::kCommitAttempt: return "commit-attempt";
     case Stage::kAdmission: return "admission";
+    case Stage::kPreemption: return "preemption";
+    case Stage::kUpgrade: return "upgrade";
   }
   return "?";
 }

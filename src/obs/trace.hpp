@@ -35,9 +35,11 @@ enum class Stage : std::uint8_t {
   kCommitWalk,     ///< Step 5: the best-to-worst commitment walk
   kCommitAttempt,  ///< one offer-level commit (child of kCommitWalk)
   kAdmission,      ///< Step 6: session open + confirmation
+  kPreemption,     ///< policy: degrading/releasing victims for an admit
+  kUpgrade,        ///< policy: promoting a session to a better offer
 };
 
-inline constexpr std::size_t kStageCount = 8;
+inline constexpr std::size_t kStageCount = 10;
 
 std::string_view to_string(Stage stage);
 

@@ -1,0 +1,81 @@
+// Session classes: the "who wins under congestion" dimension the 1996
+// paper leaves open (its Steps 5-6 decide *whether* a session is admitted
+// and *how* it degrades, not *whose* request prevails). Following the
+// user-class bandwidth-management literature, every negotiation request and
+// every session carries one of three classes; under congestion the policy
+// layer (src/policy/preemption.hpp) may degrade or preempt strictly
+// lower-class sessions to admit a higher-class request, and the farm and
+// transport can hold back a configurable capacity headroom from the lower
+// classes. This header is intentionally dependency-free (an enum plus a
+// headroom config) so the low layers — qosmap stream requirements, media
+// servers, transport — can speak classes without linking the policy engine.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace qosnp {
+
+/// Ordered worst-to-best: a request of class C may only preempt sessions of
+/// strictly lower class (rank(victim) < rank(requester)), never peers.
+enum class SessionClass : std::uint8_t {
+  kBestEffort = 0,
+  kStandard = 1,
+  kPremium = 2,
+};
+
+inline constexpr std::size_t kSessionClassCount = 3;
+
+constexpr int session_class_rank(SessionClass c) { return static_cast<int>(c); }
+
+inline std::string_view to_string(SessionClass c) {
+  switch (c) {
+    case SessionClass::kBestEffort: return "best_effort";
+    case SessionClass::kStandard: return "standard";
+    case SessionClass::kPremium: return "premium";
+  }
+  return "?";
+}
+
+/// Per-class admission headroom: the fraction of a resource's capacity a
+/// class may NOT use, i.e. class C only fits while
+/// reserved + rate <= capacity * (1 - fraction[C]). All-zero (the default)
+/// is class-blind admission — byte-identical to the pre-policy behaviour.
+/// Typical use reserves headroom from kBestEffort (and maybe kStandard) so
+/// the last slice of every disk and link is only reachable by premium
+/// traffic.
+struct ClassHeadroom {
+  std::array<double, kSessionClassCount> fraction{};  ///< indexed by SessionClass
+
+  double for_class(SessionClass c) const { return fraction[static_cast<std::size_t>(c)]; }
+  bool any() const {
+    for (double f : fraction) {
+      if (f > 0.0) return true;
+    }
+    return false;
+  }
+
+  /// Throws std::invalid_argument when a fraction is outside [0, 1) or the
+  /// headroom is not monotone (a higher class must never see less capacity
+  /// than a lower one).
+  static ClassHeadroom validated(ClassHeadroom h) {
+    for (std::size_t i = 0; i < kSessionClassCount; ++i) {
+      if (!(h.fraction[i] >= 0.0 && h.fraction[i] < 1.0)) {
+        throw std::invalid_argument("ClassHeadroom: fraction for class '" +
+                                    std::string(to_string(static_cast<SessionClass>(i))) +
+                                    "' outside [0, 1)");
+      }
+      if (i > 0 && h.fraction[i] > h.fraction[i - 1]) {
+        throw std::invalid_argument(
+            "ClassHeadroom: a higher class must not be held back harder than a lower one");
+      }
+    }
+    return h;
+  }
+};
+
+}  // namespace qosnp

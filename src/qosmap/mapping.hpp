@@ -14,6 +14,7 @@
 
 #include "document/model.hpp"
 #include "media/types.hpp"
+#include "policy/session_class.hpp"
 #include "profile/profiles.hpp"
 
 namespace qosnp {
@@ -27,6 +28,10 @@ struct StreamRequirements {
   double delay_ms = 0.0;     ///< end-to-end delay bound
   GuaranteeClass guarantee = GuaranteeClass::kGuaranteed;
   double duration_s = 0.0;   ///< how long the reservation is held
+  /// Class of the session the stream belongs to, stamped by the resource
+  /// committer at admission time (the variant mapping itself is class-blind).
+  /// Servers and transport use it for headroom-differentiated admission.
+  SessionClass session_class = SessionClass::kStandard;
 
   std::string describe() const;
 };

@@ -10,7 +10,9 @@
 namespace qosnp {
 
 MediaServer::MediaServer(MediaServerConfig config)
-    : config_(std::move(config)), effective_bandwidth_(config_.disk_bandwidth_bps) {}
+    : config_(std::move(config)), effective_bandwidth_(config_.disk_bandwidth_bps) {
+  config_.headroom = ClassHeadroom::validated(config_.headroom);
+}
 
 Result<StreamId, Refusal> MediaServer::admit(const StreamRequirements& req) {
   const std::int64_t rate = req.guarantee == GuaranteeClass::kGuaranteed ? req.max_bit_rate_bps
@@ -21,7 +23,15 @@ Result<StreamId, Refusal> MediaServer::admit(const StreamRequirements& req) {
   if (static_cast<int>(streams_.size()) >= config_.max_sessions) {
     return transient_refusal(config_.id, "no free session slot");
   }
-  if (reserved_ + rate > effective_bandwidth_) {
+  // Headroom-differentiated admission: a class with headroom h only sees
+  // capacity * (1 - h). The h <= 0 guard keeps the zero-headroom path free
+  // of any double round-trip, hence byte-identical to class-blind admission.
+  const double h = config_.headroom.for_class(req.session_class);
+  const std::int64_t usable =
+      h <= 0.0 ? effective_bandwidth_
+               : static_cast<std::int64_t>(
+                     std::llround(static_cast<double>(effective_bandwidth_) * (1.0 - h)));
+  if (reserved_ + rate > usable) {
     return transient_refusal(config_.id, "insufficient disk bandwidth");
   }
   reserved_ += rate;

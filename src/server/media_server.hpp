@@ -30,6 +30,10 @@ struct MediaServerConfig {
   NodeId node;  ///< where the server attaches to the network topology
   std::int64_t disk_bandwidth_bps = 100'000'000;
   int max_sessions = 64;
+  /// Per-class admission headroom: class C only fits while
+  /// reserved + rate <= effective_bandwidth * (1 - headroom[C]). The all-zero
+  /// default is class-blind (byte-identical to pre-policy admission).
+  ClassHeadroom headroom;
 };
 
 struct ServerUsage {

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "policy/preemption.hpp"
 #include "util/log.hpp"
 #include "util/validate.hpp"
 
@@ -44,6 +45,10 @@ ServiceConfig ServiceConfig::validated(ServiceConfig config) {
   require_config(config.deadline_ms >= 0.0, "ServiceConfig", "deadline_ms must not be negative");
   require_config(config.simulated_rtt_ms >= 0.0, "ServiceConfig",
                  "simulated_rtt_ms must not be negative");
+  require_config(config.upgrade_scan_interval_ms >= 0.0, "ServiceConfig",
+                 "upgrade_scan_interval_ms must not be negative");
+  require_config(config.upgrade_scan_interval_ms == 0.0 || config.policy != nullptr,
+                 "ServiceConfig", "upgrade_scan_interval_ms requires a policy engine");
   return config;
 }
 
@@ -103,6 +108,13 @@ void NegotiationService::start() {
   for (std::size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
+  if (config_.policy != nullptr && config_.upgrade_scan_interval_ms > 0.0) {
+    {
+      std::lock_guard lk(scanner_mu_);
+      scanner_stop_ = false;
+    }
+    upgrade_scanner_ = std::thread([this] { upgrade_scan_loop(); });
+  }
   QOSNP_LOG_INFO("service", "started ", config_.workers, " workers, queue capacity ",
                  queue_.capacity());
 }
@@ -112,6 +124,14 @@ void NegotiationService::stop() {
   queue_.close();
   for (auto& w : workers_) w.join();
   workers_.clear();
+  if (upgrade_scanner_.joinable()) {
+    {
+      std::lock_guard lk(scanner_mu_);
+      scanner_stop_ = true;
+    }
+    scanner_cv_.notify_all();
+    upgrade_scanner_.join();
+  }
   stopped_ms_ = clock_.elapsed_ms();
   QOSNP_LOG_INFO("service", "stopped; ", requests_total_->value(), " requests submitted");
 }
@@ -159,6 +179,21 @@ std::future<NegotiationResult> NegotiationService::submit(NegotiationRequest req
   return future;
 }
 
+void NegotiationService::upgrade_scan_loop() {
+  set_log_tag("upgrade-scan");
+  const auto interval =
+      std::chrono::duration<double, std::milli>(config_.upgrade_scan_interval_ms);
+  std::unique_lock lk(scanner_mu_);
+  while (!scanner_stop_) {
+    if (scanner_cv_.wait_for(lk, interval, [this] { return scanner_stop_; })) break;
+    lk.unlock();
+    const std::size_t promoted = config_.policy->run_upgrades();
+    if (promoted > 0) QOSNP_LOG_DEBUG("service", "upgrade scan promoted ", promoted);
+    lk.lock();
+  }
+  set_log_tag("");
+}
+
 void NegotiationService::worker_loop(std::size_t index) {
   set_log_tag("w" + std::to_string(index));
   while (auto item = queue_.pop()) {
@@ -194,7 +229,8 @@ NegotiationResult NegotiationService::process(Item& item, std::size_t worker_ind
     // The service owns per-request tracing: its trace (or none) replaces
     // whatever context the submitter put on the request.
     item.request.trace = ctx;
-    response = manager_->negotiate(item.request);
+    response = config_.policy != nullptr ? config_.policy->negotiate(item.request)
+                                         : manager_->negotiate(item.request);
     commit_attempts_total_->add(static_cast<std::uint64_t>(response.commit_stats.attempts));
     commit_retries_total_->add(static_cast<std::uint64_t>(response.commit_stats.retries));
     const bool take = response.has_commitment() &&
@@ -202,8 +238,8 @@ NegotiationResult NegotiationService::process(Item& item, std::size_t worker_ind
                        item.request.accept_degraded);
     if (take) {
       ScopedSpan admission(ctx, Stage::kAdmission);
-      auto opened =
-          sessions_->open(item.request.client, item.request.profile, std::move(response), now_s());
+      auto opened = sessions_->open(item.request.client, item.request.profile,
+                                    std::move(response), now_s(), item.request.session_class);
       if (opened.ok()) {
         sessions_opened_total_->inc();
         response.session_id = opened.value();

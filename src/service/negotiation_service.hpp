@@ -23,9 +23,11 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,6 +43,8 @@
 #include "util/stopwatch.hpp"
 
 namespace qosnp {
+
+class PolicyEngine;
 
 struct ServiceConfig {
   std::size_t workers = 4;
@@ -67,6 +71,15 @@ struct ServiceConfig {
   /// per executed stage) that is recorded here and attached to the
   /// response. Not owned; must outlive the service. nullptr = no tracing.
   TraceSink* trace_sink = nullptr;
+  /// Class-differentiated admission: workers negotiate through this engine
+  /// (preemption on congestion) instead of the bare manager. Must wrap the
+  /// same QoSManager/SessionManager pair the service runs on. Not owned;
+  /// must outlive the service. nullptr = class-blind (byte-identical to the
+  /// pre-policy service).
+  PolicyEngine* policy = nullptr;
+  /// Period of the background upgrade scanner (PolicyEngine::run_upgrades);
+  /// 0 disables it. Requires `policy`.
+  double upgrade_scan_interval_ms = 0.0;
 
   /// Throws std::invalid_argument when the config is unusable (zero
   /// workers, zero queue capacity, negative deadline or RTT). Shares the
@@ -162,6 +175,7 @@ class NegotiationService {
   };
 
   void worker_loop(std::size_t index);
+  void upgrade_scan_loop();
   NegotiationResult process(Item& item, std::size_t worker_index);
   /// Stamp the verdict on the trace, hand it to the sink, attach it to the
   /// result. No-op when the item carries no trace.
@@ -176,6 +190,10 @@ class NegotiationService {
   Stopwatch clock_;
   BoundedQueue<Item> queue_;
   std::vector<std::thread> workers_;
+  std::thread upgrade_scanner_;
+  std::mutex scanner_mu_;
+  std::condition_variable scanner_cv_;
+  bool scanner_stop_ = false;  ///< guarded by scanner_mu_
   std::atomic<bool> running_{false};
   double started_ms_ = 0.0;  ///< written by start()/stop() only
   double stopped_ms_ = 0.0;

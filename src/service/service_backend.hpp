@@ -40,6 +40,9 @@ class ServicePopulationBackend final : public PopulationBackend {
   /// simulation clock.
   double session_now_s(double /*sim_now_s*/) const override { return service_->now_s(); }
 
+  /// The engine the service's workers negotiate through, when configured.
+  PolicyEngine* policy() override { return service_->config().policy; }
+
  private:
   NegotiationService* service_;
 };

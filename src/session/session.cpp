@@ -36,7 +36,8 @@ void SessionManager::finish_locked(Session& s, SessionState state, const std::st
 }
 
 Result<SessionId> SessionManager::open(const ClientMachine& client, const UserProfile& profile,
-                                       NegotiationResult&& result, double now_s) {
+                                       NegotiationResult&& result, double now_s,
+                                       SessionClass session_class) {
   if (!result.has_commitment()) {
     return Err(std::string("negotiation result carries no committed offer"));
   }
@@ -45,6 +46,7 @@ Result<SessionId> SessionManager::open(const ClientMachine& client, const UserPr
   session->id = next_id_++;
   session->client = client;
   session->profile = profile;
+  session->session_class = session_class;
   session->offers = std::move(result.offers);
   session->current_offer = result.committed_index;
   session->tried.push_back(result.committed_index);
@@ -126,7 +128,8 @@ AdaptationResult SessionManager::adapt(SessionId id, double /*now_s*/) {
 
   CommitAttempt attempt;
   if (policy_.make_before_break) {
-    attempt = manager_->commit_first(s.client, s.offers, s.profile.mm, exclude);
+    attempt = manager_->commit_first(s.client, s.offers, s.profile.mm, exclude, {},
+                                     s.session_class);
     if (attempt.ok()) {
       unindex_commitment_locked(s);
       s.commitment = std::move(attempt.commitment);  // old reservations release here
@@ -136,7 +139,8 @@ AdaptationResult SessionManager::adapt(SessionId id, double /*now_s*/) {
     // Step 5 on the remaining offers.
     unindex_commitment_locked(s);
     s.commitment.release();
-    attempt = manager_->commit_first(s.client, s.offers, s.profile.mm, exclude);
+    attempt = manager_->commit_first(s.client, s.offers, s.profile.mm, exclude, {},
+                                     s.session_class);
     if (attempt.ok()) s.commitment = std::move(attempt.commitment);
   }
 
@@ -180,8 +184,9 @@ RenegotiationResult SessionManager::renegotiate(SessionId id, const UserProfile&
     return result;
   }
 
-  NegotiationResult renegotiated =
-      manager_->negotiate(make_negotiation_request(s.client, s.offers.document, new_profile));
+  NegotiationRequest request = make_negotiation_request(s.client, s.offers.document, new_profile);
+  request.session_class = s.session_class;
+  NegotiationResult renegotiated = manager_->negotiate(request);
   result.status = renegotiated.verdict;
   result.problems = renegotiated.problems;
   s.stats.commit.merge(renegotiated.commit_stats);
@@ -230,6 +235,7 @@ std::optional<SessionView> SessionManager::snapshot(SessionId id) const {
   SessionView view;
   view.id = s.id;
   view.state = s.state;
+  view.session_class = s.session_class;
   view.current_offer = s.current_offer;
   view.offer_count = s.offers.known_count();
   view.position_s = s.position_s;
@@ -287,6 +293,120 @@ std::vector<SessionId> SessionManager::playing_sessions() const {
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<PlayingSession> SessionManager::playing_sessions_with_class() const {
+  std::lock_guard lk(mu_);
+  std::vector<PlayingSession> out;
+  for (const auto& [id, s] : sessions_) {
+    if (s->state != SessionState::kPlaying) continue;
+    out.push_back({id, s->session_class, s->current_offer});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PlayingSession& a, const PlayingSession& b) { return a.id < b.id; });
+  return out;
+}
+
+PreemptionVictimResult SessionManager::preempt_degrade(SessionId id, bool allow_release,
+                                                       TraceContext trace) {
+  PreemptionVictimResult result;
+  std::lock_guard lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    result.errors.push_back("unknown session");
+    return result;
+  }
+  Session& s = *it->second;
+  if (s.state != SessionState::kPlaying) {
+    result.errors.push_back("session is " + std::string(to_string(s.state)));
+    return result;
+  }
+  result.old_offer = s.current_offer;
+
+  // Only offers strictly worse than (indexed after) the current one are
+  // eligible — the policy invariant "a preempted victim's new offer is
+  // always a later entry in its own offer list" is enforced structurally.
+  std::vector<std::size_t> exclude(s.current_offer + 1);
+  for (std::size_t i = 0; i <= s.current_offer; ++i) exclude[i] = i;
+
+  CommitAttempt attempt;
+  if (allow_release) {
+    // Break-before-make: freeing the victim's resources first is the whole
+    // point (they are what the higher-class request needs).
+    unindex_commitment_locked(s);
+    s.commitment.release();
+    attempt = manager_->commit_first(s.client, s.offers, s.profile.mm, exclude, trace,
+                                     s.session_class);
+    s.stats.commit.merge(attempt.stats);
+    if (!attempt.ok()) {
+      result.errors = std::move(attempt.errors);
+      finish_locked(s, SessionState::kAborted, std::string(kPreemptedAbortReason));
+      result.released = true;
+      QOSNP_LOG_INFO("preempt", "session ", id, " released: no worse offer fits");
+      return result;
+    }
+    s.commitment = std::move(attempt.commitment);
+  } else {
+    // Make-before-break: degrade only when a worse offer fits alongside the
+    // current one; otherwise the victim is left untouched.
+    attempt = manager_->commit_first(s.client, s.offers, s.profile.mm, exclude, trace,
+                                     s.session_class);
+    s.stats.commit.merge(attempt.stats);
+    if (!attempt.ok()) {
+      result.errors = std::move(attempt.errors);
+      return result;
+    }
+    unindex_commitment_locked(s);
+    s.commitment = std::move(attempt.commitment);  // old reservations release here
+  }
+
+  s.current_offer = attempt.index;
+  if (std::find(s.tried.begin(), s.tried.end(), attempt.index) == s.tried.end()) {
+    s.tried.push_back(attempt.index);
+  }
+  index_commitment_locked(s);
+  s.stats.preempt_degrades += 1;
+  s.stats.interrupted_s += policy_.transition_latency_s;
+  s.stats.charged = s.committed().total_cost();
+  result.degraded = true;
+  result.new_offer = attempt.index;
+  QOSNP_LOG_INFO("preempt", "session ", id, " degraded from offer ", result.old_offer, " to ",
+                 result.new_offer);
+  return result;
+}
+
+UpgradeResult SessionManager::try_upgrade(SessionId id, TraceContext trace) {
+  UpgradeResult result;
+  std::lock_guard lk(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return result;
+  Session& s = *it->second;
+  if (s.state != SessionState::kPlaying) return result;
+  result.old_offer = s.current_offer;
+  if (s.current_offer == 0 || s.current_offer == SIZE_MAX) return result;  // already at the top
+
+  // Make-before-break over the offers strictly better than the current one
+  // (end_index bounds the walk, so a lazy list never materialises past it).
+  CommitAttempt attempt = manager_->commit_first(s.client, s.offers, s.profile.mm, {}, trace,
+                                                 s.session_class, s.current_offer);
+  s.stats.commit.merge(attempt.stats);
+  if (!attempt.ok()) return result;
+
+  unindex_commitment_locked(s);
+  s.commitment = std::move(attempt.commitment);  // old reservations release here
+  s.current_offer = attempt.index;
+  if (std::find(s.tried.begin(), s.tried.end(), attempt.index) == s.tried.end()) {
+    s.tried.push_back(attempt.index);
+  }
+  index_commitment_locked(s);
+  s.stats.upgrades += 1;
+  s.stats.interrupted_s += policy_.transition_latency_s;
+  s.stats.charged = s.committed().total_cost();
+  result.upgraded = true;
+  result.new_offer = attempt.index;
+  QOSNP_LOG_INFO("upgrade", "session ", id, " promoted from offer ", result.old_offer, " to ",
+                 result.new_offer);
+  return result;
 }
 
 std::vector<SessionId> SessionManager::sessions_using_flow(FlowId flow) const {

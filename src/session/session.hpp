@@ -32,10 +32,17 @@ enum class SessionState {
 
 std::string_view to_string(SessionState state);
 
+/// Abort reason stamped by preempt_degrade when a victim could not be kept
+/// on any worse offer; the population simulation keys its "preempted by
+/// policy" (vs "adaptation failed") accounting off this exact string.
+inline constexpr std::string_view kPreemptedAbortReason = "preempted by policy";
+
 struct SessionStats {
   int transitions = 0;  ///< successful adaptations
   int failed_adaptations = 0;
   int renegotiations = 0;  ///< successful user-driven renegotiations
+  int preempt_degrades = 0;    ///< times the policy forced a worse offer
+  int upgrades = 0;            ///< times the upgrade scanner promoted this session
   double interrupted_s = 0.0;  ///< total playout interruption
   Money charged;               ///< cost of the currently committed offer
   CommitStats commit;          ///< commitment effort over the session's life
@@ -47,6 +54,7 @@ struct Session {
   SessionId id = 0;
   ClientMachine client;
   UserProfile profile;
+  SessionClass session_class = SessionClass::kStandard;
   OfferList offers;  ///< ordered; kept alive for adaptation
   std::size_t current_offer = SIZE_MAX;
   std::vector<std::size_t> tried;  ///< offer indices already used
@@ -65,6 +73,7 @@ struct Session {
 struct SessionView {
   SessionId id = 0;
   SessionState state = SessionState::kAborted;
+  SessionClass session_class = SessionClass::kStandard;
   std::size_t current_offer = SIZE_MAX;
   std::size_t offer_count = 0;
   double position_s = 0.0;
@@ -106,6 +115,32 @@ struct RenegotiationResult {
   std::vector<std::string> problems;
 };
 
+/// What preempt_degrade did to one victim. Exactly one of degraded/released
+/// is true on any change; both false means the victim was left untouched
+/// (make-before-break found no worse offer that fits alongside).
+struct PreemptionVictimResult {
+  bool degraded = false;  ///< moved to a strictly worse offer, still playing
+  bool released = false;  ///< aborted with kPreemptedAbortReason
+  std::size_t old_offer = SIZE_MAX;
+  std::size_t new_offer = SIZE_MAX;  ///< degraded only; strictly > old_offer
+  std::vector<std::string> errors;
+};
+
+/// Outcome of try_upgrade.
+struct UpgradeResult {
+  bool upgraded = false;
+  std::size_t old_offer = SIZE_MAX;
+  std::size_t new_offer = SIZE_MAX;  ///< upgraded only; strictly < old_offer
+};
+
+/// Snapshot row of playing_sessions_with_class — what the policy engine
+/// needs to pick preemption victims and upgrade candidates.
+struct PlayingSession {
+  SessionId id = 0;
+  SessionClass session_class = SessionClass::kStandard;
+  std::size_t current_offer = SIZE_MAX;
+};
+
 class SessionManager {
  public:
   SessionManager(QoSManager& manager, AdaptationPolicy policy = {})
@@ -117,7 +152,8 @@ class SessionManager {
   /// The session starts pending confirmation with deadline now +
   /// choicePeriod.
   Result<SessionId> open(const ClientMachine& client, const UserProfile& profile,
-                         NegotiationResult&& result, double now_s);
+                         NegotiationResult&& result, double now_s,
+                         SessionClass session_class = SessionClass::kStandard);
 
   /// Step 6: the user accepts the offer. Fails (and releases resources)
   /// when the choice period already expired.
@@ -161,6 +197,25 @@ class SessionManager {
   std::size_t prune_finished();
   /// Ids of sessions currently playing (sorted).
   std::vector<SessionId> playing_sessions() const;
+  /// Playing sessions with their class and current offer index, sorted by
+  /// id — the policy engine's candidate view for preemption and upgrade.
+  std::vector<PlayingSession> playing_sessions_with_class() const;
+
+  /// Policy-driven preemption of one playing victim: force it down its own
+  /// offer list (Step 5 over the offers strictly worse than — i.e. indexed
+  /// after — everything up to its current one). With `allow_release` the
+  /// walk is break-before-make (the victim's resources free up first, which
+  /// is the whole point of preempting); failure to re-commit aborts the
+  /// victim with kPreemptedAbortReason. Without it the walk is
+  /// make-before-break: the victim is degraded only when a worse offer fits
+  /// *alongside* its current one, and is left untouched otherwise.
+  PreemptionVictimResult preempt_degrade(SessionId id, bool allow_release,
+                                         TraceContext trace = {});
+
+  /// Policy-driven upgrade of one playing session: re-run Step 5 over the
+  /// offers strictly better than its current one, make-before-break. On
+  /// success the session plays the better offer; on failure it is untouched.
+  UpgradeResult try_upgrade(SessionId id, TraceContext trace = {});
 
   /// Violation routing: which session holds a given transport flow.
   std::vector<SessionId> sessions_using_flow(FlowId flow) const;

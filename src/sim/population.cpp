@@ -29,6 +29,7 @@ std::vector<ClientClass> standard_population() {
                              CodingFormat::kJPEG};
   mobile.machine.max_audio = AudioQuality::kRadio;
   mobile.profile = thrifty_user_profile();
+  mobile.session_class = SessionClass::kBestEffort;
   mobile.arrival_rate_per_s = 0.5;
   mobile.mean_think_s = 3.0;
   mobile.abandon_rate_per_s = 1.0 / 20.0;  // impatient: mean 20s to walk away
@@ -47,6 +48,7 @@ std::vector<ClientClass> standard_population() {
                               CodingFormat::kGIF};
   desktop.machine.max_audio = AudioQuality::kCD;
   desktop.profile = typical_user_profile();
+  desktop.session_class = SessionClass::kStandard;
   desktop.arrival_rate_per_s = 0.35;
   desktop.mean_think_s = 5.0;
   desktop.abandon_rate_per_s = 1.0 / 60.0;
@@ -66,6 +68,7 @@ std::vector<ClientClass> standard_population() {
                               CodingFormat::kGIF,       CodingFormat::kTIFF};
   premium.machine.max_audio = AudioQuality::kCD;
   premium.profile = demanding_user_profile();
+  premium.session_class = SessionClass::kPremium;
   premium.arrival_rate_per_s = 0.15;
   premium.mean_think_s = 8.0;
   premium.abandon_rate_per_s = 0.0;  // patient, but...
@@ -85,6 +88,9 @@ void ClassCounts::add(const ClassCounts& other) {
   confirm_timeouts += other.confirm_timeouts;
   completed += other.completed;
   preempt_released += other.preempt_released;
+  policy_preempted += other.policy_preempted;
+  policy_degraded += other.policy_degraded;
+  upgrades += other.upgrades;
   violations += other.violations;
   adaptations += other.adaptations;
   failed_adaptations += other.failed_adaptations;
@@ -113,6 +119,8 @@ std::string PopulationMetrics::signature() const {
        << " admitted=" << c.admitted << " shed=" << c.shed << " refused=" << c.refused
        << " abandoned=" << c.abandoned << " confirm_timeouts=" << c.confirm_timeouts
        << " completed=" << c.completed << " preempt_released=" << c.preempt_released
+       << " policy_preempted=" << c.policy_preempted
+       << " policy_degraded=" << c.policy_degraded << " upgrades=" << c.upgrades
        << " violations=" << c.violations << " adaptations=" << c.adaptations
        << " failed_adaptations=" << c.failed_adaptations
        << " interruption_s=" << c.interruption_s << '\n';
@@ -141,12 +149,14 @@ double PopulationMetrics::adaptation_success_rate() const {
 
 NegotiationResult ManagerPopulationBackend::negotiate(NegotiationRequest request,
                                                       double sim_now_s) {
-  NegotiationResult result = manager_->negotiate(request);
+  NegotiationResult result =
+      policy_ != nullptr ? policy_->negotiate(request) : manager_->negotiate(request);
   if (observer_) observer_(result);
   const bool keep = result.has_commitment() &&
                     (result.verdict == NegotiationStatus::kSucceeded || request.accept_degraded);
   if (keep) {
-    auto opened = sessions_->open(request.client, request.profile, std::move(result), sim_now_s);
+    auto opened = sessions_->open(request.client, request.profile, std::move(result), sim_now_s,
+                                  request.session_class);
     if (opened.ok()) {
       result.session_id = opened.value();
     } else {
@@ -179,6 +189,8 @@ PopulationConfig PopulationConfig::validated(PopulationConfig config) {
   require_config(config.duration_s > 0.0, "PopulationConfig", "non-positive duration");
   require_config(config.prune_interval_s >= 0.0, "PopulationConfig",
                  "negative prune interval");
+  require_config(config.upgrade_scan_interval_s >= 0.0, "PopulationConfig",
+                 "negative upgrade scan interval");
   for (const ClientClass& cls : config.classes) {
     const std::string who = "class '" + cls.name + "'";
     require_config(cls.arrival_rate_per_s >= 0.0, "PopulationConfig",
@@ -215,6 +227,31 @@ PopulationMetrics Population::run() {
   next_arrival_index_ = 0;
   metrics_.by_class.resize(config_.classes.size());
   arrival_rngs_.clear();
+  class_of_session_.clear();
+  housekeeping_pending_ = 0;
+  // Policy-enabled backend: attribute victim/upgrade events to the owning
+  // class. A released victim leaves the system outside the population's own
+  // lifecycle events, so without this hook the conservation law
+  // admitted == completed + preempt_released + policy_preempted would break.
+  PolicyEngine* policy = backend_->policy();
+  if (policy != nullptr) {
+    policy->set_victim_observer([this](const VictimEvent& event) {
+      auto it = class_of_session_.find(event.session);
+      if (it == class_of_session_.end()) return;
+      ClassCounts& counts = metrics_.by_class[it->second];
+      if (event.action == VictimAction::kReleased) {
+        counts.policy_preempted += 1;
+        class_of_session_.erase(it);
+      } else {
+        counts.policy_degraded += 1;
+      }
+    });
+    policy->set_upgrade_observer([this](const UpgradeEvent& event) {
+      auto it = class_of_session_.find(event.session);
+      if (it == class_of_session_.end()) return;
+      metrics_.by_class[it->second].upgrades += 1;
+    });
+  }
   for (std::size_t i = 0; i < config_.classes.size(); ++i) {
     metrics_.class_names.push_back(config_.classes[i].name);
     // Per-class arrival stream, independent of the per-user streams.
@@ -222,7 +259,12 @@ PopulationMetrics Population::run() {
     schedule_next_arrival(i);
   }
   schedule_prune();
+  if (policy != nullptr) schedule_upgrade_scan();
   queue_.run_all();
+  if (policy != nullptr) {
+    policy->set_victim_observer({});
+    policy->set_upgrade_observer({});
+  }
   return metrics_;
 }
 
@@ -257,6 +299,7 @@ void Population::arrive(std::size_t class_index) {
 
   NegotiationRequest request = make_negotiation_request(cls.machine, draws.document, cls.profile);
   request.id = index + 1;
+  request.session_class = cls.session_class;
   request.accept_degraded = draws.accept_degraded;
   request.cache = config_.cache;
   const NegotiationResult result = backend_->negotiate(std::move(request), queue_.now());
@@ -311,6 +354,7 @@ void Population::arrive(std::size_t class_index) {
       return;
     }
     c.admitted += 1;
+    class_of_session_[session] = class_index;
     begin_playout(class_index, session, rng);
   });
 }
@@ -349,6 +393,7 @@ void Population::schedule_next_violation(std::size_t class_index, SessionId sess
       // committed, the resources are already released.
       counts.failed_adaptations += 1;
       counts.preempt_released += 1;
+      class_of_session_.erase(session);
     }
   });
 }
@@ -356,18 +401,47 @@ void Population::schedule_next_violation(std::size_t class_index, SessionId sess
 void Population::finish_playout(std::size_t class_index, SessionId session, double watched_s) {
   SessionManager& sessions = backend_->sessions();
   const auto view = sessions.snapshot(session);
-  if (!view || view->state != SessionState::kPlaying) return;  // preempt-released earlier
+  if (!view || view->state != SessionState::kPlaying) {
+    // Released earlier (failed adaptation, or preempted by the policy —
+    // both already counted at the releasing event).
+    class_of_session_.erase(session);
+    return;
+  }
   sessions.advance(session, watched_s);
   const auto done = sessions.snapshot(session);
   if (done && done->state == SessionState::kPlaying) sessions.complete(session);
   metrics_.by_class[class_index].completed += 1;
+  class_of_session_.erase(session);
+}
+
+// Re-schedule condition for the periodic housekeeping events (prune and
+// upgrade scan): keep going while arrivals continue or *lifecycle* events
+// remain. Pending housekeeping events do not count as lifecycle work — two
+// periodic events must not keep each other (or themselves) alive past the
+// drain, or run() would never return.
+bool Population::keep_housekeeping() const {
+  return queue_.now() < config_.duration_s || queue_.pending() > housekeeping_pending_;
 }
 
 void Population::schedule_prune() {
   if (config_.prune_interval_s <= 0.0) return;
+  housekeeping_pending_ += 1;
   queue_.schedule_in(config_.prune_interval_s, [this] {
+    housekeeping_pending_ -= 1;
     backend_->sessions().prune_finished();
-    if (queue_.now() < config_.duration_s || !queue_.empty()) schedule_prune();
+    if (keep_housekeeping()) schedule_prune();
+  });
+}
+
+void Population::schedule_upgrade_scan() {
+  if (config_.upgrade_scan_interval_s <= 0.0) return;
+  housekeeping_pending_ += 1;
+  queue_.schedule_in(config_.upgrade_scan_interval_s, [this] {
+    housekeeping_pending_ -= 1;
+    // On the event loop, not a wall-clock thread: same-seed runs promote
+    // the same sessions at the same simulated instants.
+    if (PolicyEngine* policy = backend_->policy()) policy->run_upgrades();
+    if (keep_housekeeping()) schedule_upgrade_scan();
   });
 }
 

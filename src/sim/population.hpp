@@ -29,9 +29,12 @@
 #include <string>
 #include <vector>
 
+#include <unordered_map>
+
 #include "client/client_machine.hpp"
 #include "core/negotiation_request.hpp"
 #include "core/negotiation_result.hpp"
+#include "policy/preemption.hpp"
 #include "profile/profiles.hpp"
 #include "session/session.hpp"
 #include "sim/event_queue.hpp"
@@ -60,6 +63,9 @@ struct ClientClass {
   /// topology the system under test runs on.
   ClientMachine machine;
   UserProfile profile;
+  /// Admission class stamped on every request this class submits — who wins
+  /// under congestion when the backend runs a preemption policy.
+  SessionClass session_class = SessionClass::kStandard;
 
   /// Base Poisson arrival rate, modulated by `diurnal`.
   double arrival_rate_per_s = 0.1;
@@ -90,7 +96,9 @@ std::vector<ClientClass> standard_population();
 /// Per-class outcome accounting. Terminal states partition the arrivals:
 ///   arrivals == admitted + shed + refused + abandoned
 /// and the admitted sessions partition into the released states:
-///   admitted == completed + preempt_released
+///   admitted == completed + preempt_released + policy_preempted
+/// (preempt_released is "our own adaptation walk found no alternate offer";
+/// policy_preempted is "a higher-class request took our resources").
 struct ClassCounts {
   std::uint64_t arrivals = 0;
 
@@ -103,17 +111,20 @@ struct ClassCounts {
 
   std::uint64_t completed = 0;         ///< played to the end of the watch window
   std::uint64_t preempt_released = 0;  ///< released mid-stream (adaptation failed)
+  std::uint64_t policy_preempted = 0;  ///< released mid-stream by the preemption policy
+
+  std::uint64_t policy_degraded = 0;  ///< forced down the offer list (still played)
+  std::uint64_t upgrades = 0;         ///< promoted to a better offer by the scanner
 
   std::uint64_t violations = 0;
   std::uint64_t adaptations = 0;
   std::uint64_t failed_adaptations = 0;
   double interruption_s = 0.0;  ///< summed adaptation transition time
 
-  std::uint64_t released() const { return completed + preempt_released; }
+  std::uint64_t released() const { return completed + preempt_released + policy_preempted; }
   bool conserved() const {
-    return arrivals == admitted + shed + refused + abandoned &&
-           admitted == completed + preempt_released && confirm_timeouts <= abandoned &&
-           violations == adaptations + failed_adaptations;
+    return arrivals == admitted + shed + refused + abandoned && admitted == released() &&
+           confirm_timeouts <= abandoned && violations == adaptations + failed_adaptations;
   }
   void add(const ClassCounts& other);
 };
@@ -154,6 +165,12 @@ class PopulationBackend {
   /// differ from the simulation clock (the service opens sessions against
   /// its own wall clock).
   virtual double session_now_s(double sim_now_s) const { return sim_now_s; }
+
+  /// The preemption/upgrade engine negotiations run through, when the
+  /// backend is policy-enabled. The population registers its victim/upgrade
+  /// observers here (per-class conservation accounting) and drives periodic
+  /// upgrade scans on the simulation clock. nullptr = class-blind backend.
+  virtual PolicyEngine* policy() { return nullptr; }
 };
 
 /// Direct in-process backend: QoSManager::negotiate + SessionManager::open,
@@ -171,12 +188,18 @@ class ManagerPopulationBackend final : public PopulationBackend {
     observer_ = std::move(observer);
   }
 
+  /// Route negotiations through a preemption/upgrade engine (which must wrap
+  /// the same manager/sessions pair). nullptr restores the direct path.
+  void set_policy(PolicyEngine* policy) { policy_ = policy; }
+
   NegotiationResult negotiate(NegotiationRequest request, double sim_now_s) override;
   SessionManager& sessions() override { return *sessions_; }
+  PolicyEngine* policy() override { return policy_; }
 
  private:
   QoSManager* manager_;
   SessionManager* sessions_;
+  PolicyEngine* policy_ = nullptr;
   std::function<void(const NegotiationResult&)> observer_;
 };
 
@@ -212,6 +235,10 @@ struct PopulationConfig {
   /// simulated seconds, keeping memory proportional to the *live* population
   /// instead of the total one. 0 disables pruning.
   double prune_interval_s = 50.0;
+  /// Run PolicyEngine::run_upgrades every this many simulated seconds (on
+  /// the deterministic event loop, not a wall-clock thread). 0 disables
+  /// scanning; requires a policy-enabled backend to have any effect.
+  double upgrade_scan_interval_s = 0.0;
   /// Optional arrival hook (class index, simulation time) — load-curve
   /// histograms and the like.
   std::function<void(std::size_t, double)> arrival_observer;
@@ -244,6 +271,8 @@ class Population {
                                double end_at_s);
   void finish_playout(std::size_t class_index, SessionId session, double watched_s);
   void schedule_prune();
+  void schedule_upgrade_scan();
+  bool keep_housekeeping() const;
 
   PopulationConfig config_;
   PopulationBackend* backend_;
@@ -254,6 +283,13 @@ class Population {
   PopulationMetrics metrics_;
   std::vector<Rng> arrival_rngs_;  ///< one per class
   std::uint64_t next_arrival_index_ = 0;
+  /// Periodic housekeeping events (prune, upgrade scan) currently scheduled;
+  /// they must not count as pending work for each other's re-schedule check.
+  std::size_t housekeeping_pending_ = 0;
+  /// Class index of every session currently playing, maintained so policy
+  /// victim/upgrade events (which arrive by session id, possibly after the
+  /// session was pruned) can be attributed to the right ClassCounts row.
+  std::unordered_map<SessionId, std::size_t> class_of_session_;
 };
 
 }  // namespace qosnp
