@@ -46,7 +46,7 @@ check "[[deprecated]] marker" "\[\[deprecated"
 
 # Coverage guard: the directories this gate sweeps must actually exist (a
 # moved/renamed subsystem would otherwise silently fall out of coverage).
-for dir in src/core src/service src/session src/policy src/sim src/obs tests bench; do
+for dir in src/core src/service src/session src/policy src/sim src/obs src/wire src/netio tests bench; do
     if [ ! -d "$repo/$dir" ]; then
         echo "coverage guard: expected directory '$dir' is missing" >&2
         status=1

@@ -1,0 +1,147 @@
+// qosnpd: the TCP front-end that turns the in-process NegotiationService
+// into a deployable network server. A single event-loop thread owns a
+// non-blocking listener and every connection (epoll, edge-triggered reads
+// drained to EAGAIN); decoded REQUEST frames dispatch into the service via
+// submit_async, and worker completion callbacks marshal the result back to
+// the loop through a mutex-guarded completion queue + eventfd — no thread
+// ever blocks on a future, and responses are sequence-number matched so
+// clients may pipeline freely.
+//
+// Robustness contract (tests/netio_test.cpp):
+//  - partial reads reassemble (a 1-byte-at-a-time writer is fine);
+//  - every protocol violation is answered with one typed ERROR frame, then
+//    framing-level violations (bad magic/CRC/version/oversize) close the
+//    connection — the stream is no longer trustworthy — while a malformed
+//    REQUEST payload keeps it open (framing survived);
+//  - the max-connection and max-frame limits shed with kOverloaded /
+//    kFrameTooLarge ERROR frames, the wire image of FAILEDTRYLATER;
+//  - idle connections (no traffic, nothing in flight) are reaped after
+//    idle_timeout_ms;
+//  - every accounting event lands in the qosnp_net_* metrics (NetMetrics),
+//    whose conservation laws hold at drain.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/net_metrics.hpp"
+#include "service/negotiation_service.hpp"
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+
+namespace qosnp {
+
+struct WireServerConfig {
+  std::string bind_address = "127.0.0.1";
+  /// Port to listen on; 0 binds an ephemeral port (see WireServer::port()).
+  std::uint16_t port = 0;
+  int listen_backlog = 64;
+  /// Connections beyond this are accepted, answered with one kOverloaded
+  /// ERROR frame (retry later) and closed.
+  std::size_t max_connections = 256;
+  /// Ceiling on one frame's total size (header + payload + trailer); a
+  /// frame declaring more sheds with kFrameTooLarge and the connection is
+  /// closed (its stream position is unrecoverable).
+  std::size_t max_frame_bytes = wire::kDefaultMaxFrameBytes;
+  /// Close connections with no traffic and nothing in flight for this
+  /// long. 0 disables the reaper.
+  double idle_timeout_ms = 0.0;
+  /// Register qosnp_net_* metrics here instead of the service's registry.
+  /// Not owned; must outlive the server.
+  MetricsRegistry* metrics = nullptr;
+
+  /// Throws std::invalid_argument on an unusable config (zero limits, a
+  /// max_frame too small to carry any frame at all).
+  static WireServerConfig validated(WireServerConfig config);
+};
+
+class WireServer {
+ public:
+  /// The service must outlive the server and be start()ed by the caller.
+  explicit WireServer(NegotiationService& service, WireServerConfig config = {});
+  ~WireServer();
+
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
+
+  /// Bind + listen + spawn the event loop. Throws std::runtime_error when
+  /// the socket cannot be bound.
+  void start();
+  /// Close the listener and every connection, join the loop. In-flight
+  /// service requests complete against the (closed) completion queue and
+  /// are counted as orphaned results.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The port actually bound (resolves an ephemeral request after start()).
+  std::uint16_t port() const { return port_; }
+
+  const NetMetrics& net() const { return net_; }
+  std::size_t connection_count() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    wire::FrameAssembler assembler;
+    std::vector<std::uint8_t> out;   ///< bytes committed but not yet written
+    std::size_t out_offset = 0;
+    std::size_t inflight = 0;        ///< requests dispatched, response pending
+    double last_active_ms = 0.0;
+    bool draining = false;           ///< close once `out` flushes
+    NetCloseReason drain_reason = NetCloseReason::kProtocolError;
+  };
+
+  /// Completion channel between service workers and the event loop. Held by
+  /// shared_ptr so a worker callback outliving the server resolves against
+  /// a closed (but alive) queue instead of freed memory.
+  struct Completions {
+    std::mutex mu;
+    std::vector<std::pair<std::uint64_t, wire::Bytes>> done;  ///< (conn id, result frame)
+    int event_fd = -1;
+    bool open = false;
+    ~Completions();
+  };
+
+  void loop();
+  void accept_ready();
+  void conn_readable(Conn& conn);
+  void conn_writable(Conn& conn);
+  void handle_frame(Conn& conn, wire::Frame frame);
+  void dispatch_request(Conn& conn, std::uint64_t seq, const wire::Bytes& payload);
+  void drain_completions();
+  void reap_idle();
+  /// Buffer bytes on the connection and try to flush; counts the frame as
+  /// transmitted (the conservation laws count commitment, not flush).
+  void enqueue(Conn& conn, wire::FrameType type, wire::Bytes frame);
+  void flush(Conn& conn);
+  void update_epoll(Conn& conn);
+  void close_conn(Conn& conn, NetCloseReason reason);
+  double now_ms() const { return clock_.elapsed_ms(); }
+
+  NegotiationService* service_;
+  WireServerConfig config_;
+  NetMetrics net_;
+  Stopwatch clock_;
+  std::shared_ptr<Completions> completions_;
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;          ///< by fd (loop thread only)
+  std::unordered_map<std::uint64_t, Conn*> conns_by_id_;          ///< loop thread only
+  mutable std::mutex count_mu_;
+  std::size_t conn_count_ = 0;  ///< guarded by count_mu_ (read from any thread)
+};
+
+}  // namespace qosnp

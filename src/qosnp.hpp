@@ -57,3 +57,6 @@
 #include "util/money.hpp"            // IWYU pragma: export
 #include "util/result.hpp"           // IWYU pragma: export
 #include "util/rng.hpp"              // IWYU pragma: export
+#include "wire/codec.hpp"            // IWYU pragma: export
+#include "wire/crc32c.hpp"           // IWYU pragma: export
+#include "wire/frame.hpp"            // IWYU pragma: export

@@ -151,16 +151,16 @@ void NegotiationService::count_response(const NegotiationResult& result) {
   responses_by_verdict_[static_cast<std::size_t>(result.verdict)]->inc();
 }
 
-std::future<NegotiationResult> NegotiationService::submit(NegotiationRequest request) {
+void NegotiationService::submit_async(NegotiationRequest request, CompletionFn done) {
   requests_total_->inc();
   Item item;
   item.accepted_ms = clock_.elapsed_ms();
   item.request = std::move(request);
+  item.done = std::move(done);
   if (config_.trace_sink != nullptr) {
     item.trace = std::make_shared<NegotiationTrace>(item.request.id);
     item.queue_span = item.trace->begin_span(Stage::kQueueWait);
   }
-  std::future<NegotiationResult> future = item.promise.get_future();
   if (!running_.load(std::memory_order_acquire) || !queue_.try_push(std::move(item))) {
     // Load shedding at the queue edge: the bounded queue is full (or the
     // service is not accepting). FAILEDTRYLATER is the honest verdict —
@@ -174,8 +174,15 @@ std::future<NegotiationResult> NegotiationService::submit(NegotiationRequest req
     count_response(shed);
     QOSNP_LOG_DEBUG("service", "shed request ", item.request.id, " at the queue edge");
     finish_trace(item, shed);
-    item.promise.set_value(std::move(shed));
+    item.done(std::move(shed));
   }
+}
+
+std::future<NegotiationResult> NegotiationService::submit(NegotiationRequest request) {
+  auto promise = std::make_shared<std::promise<NegotiationResult>>();
+  std::future<NegotiationResult> future = promise->get_future();
+  submit_async(std::move(request),
+               [promise](NegotiationResult result) { promise->set_value(std::move(result)); });
   return future;
 }
 
@@ -198,7 +205,7 @@ void NegotiationService::worker_loop(std::size_t index) {
   set_log_tag("w" + std::to_string(index));
   while (auto item = queue_.pop()) {
     NegotiationResult response = process(*item, index);
-    item->promise.set_value(std::move(response));
+    item->done(std::move(response));
   }
   set_log_tag("");
 }

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -138,12 +139,24 @@ class NegotiationService {
   void stop();
   bool running() const { return running_.load(std::memory_order_acquire); }
 
-  /// Hand a request to the service. The future always resolves: a full (or
-  /// closed) queue resolves it immediately with FAILEDTRYLATER/kQueueFull.
-  /// The resolved result does not carry the offer list or the commitment —
-  /// those belong to the opened session (result.session_id) or were
-  /// released before resolution. request.trace is replaced by the service's
-  /// own per-request trace when a TraceSink is configured.
+  /// Completion callback of submit_async. Runs on the resolving thread: a
+  /// worker thread normally, the submitter's own thread when the request is
+  /// shed at the queue edge. It must not block (it would stall a worker)
+  /// and must not call back into the service synchronously.
+  using CompletionFn = std::function<void(NegotiationResult)>;
+
+  /// Hand a request to the service; `done` is invoked exactly once with the
+  /// response. This is the primitive the network front-end builds on — an
+  /// event loop parks no thread per in-flight request. A full (or closed)
+  /// queue invokes `done` immediately (on this thread) with
+  /// FAILEDTRYLATER/kQueueFull. The resolved result does not carry the
+  /// offer list or the commitment — those belong to the opened session
+  /// (result.session_id) or were released before resolution. request.trace
+  /// is replaced by the service's own per-request trace when a TraceSink is
+  /// configured.
+  void submit_async(NegotiationRequest request, CompletionFn done);
+
+  /// Future-returning wrapper over submit_async; same guarantees.
   std::future<NegotiationResult> submit(NegotiationRequest request);
 
   std::size_t queue_depth() const { return queue_.size(); }
@@ -167,7 +180,7 @@ class NegotiationService {
  private:
   struct Item {
     NegotiationRequest request;
-    std::promise<NegotiationResult> promise;
+    CompletionFn done;
     double accepted_ms = 0.0;
     /// Present only when the service traces (ServiceConfig::trace_sink).
     std::shared_ptr<NegotiationTrace> trace;

@@ -1,0 +1,71 @@
+// Population backend that negotiates across the wire: every simulated
+// user's request is encoded, sent through a WireClient to a qosnpd server,
+// negotiated by the remote NegotiationService, and the result decoded back
+// — the population harness exercising the full network path (framing,
+// socket I/O, event loop, completion marshalling) instead of an in-process
+// call.
+//
+// Step 6 (confirm / abandon / timeout) stays on the server-side
+// SessionManager: the v1 wire protocol carries negotiation, not session
+// lifecycle, so this backend holds a reference to the server's service for
+// session operations and its clock. In a loopback deployment (the tests and
+// bench) that reference is simply the co-hosted service; a future protocol
+// version can move the lifecycle onto the wire too.
+//
+// Like ServicePopulationBackend, one request is in flight at a time, so a
+// same-seed population run is byte-identical to the in-process backends —
+// tests/netio_test.cpp asserts exactly that.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "netio/client.hpp"
+#include "service/negotiation_service.hpp"
+#include "sim/population.hpp"
+
+namespace qosnp {
+
+class WirePopulationBackend final : public PopulationBackend {
+ public:
+  /// `client` must be configured against `service`'s wire server. The
+  /// service must run with auto_confirm=false (the population drives
+  /// Step 6, exactly as with ServicePopulationBackend).
+  WirePopulationBackend(WireClient& client, NegotiationService& service)
+      : client_(&client), service_(&service) {
+    if (service.config().auto_confirm) {
+      throw std::invalid_argument(
+          "WirePopulationBackend: the service must run with auto_confirm=false "
+          "(the population drives Step 6 itself)");
+    }
+  }
+
+  NegotiationResult negotiate(NegotiationRequest request, double /*sim_now_s*/) override {
+    const std::uint64_t request_id = request.id;
+    auto response = client_->submit(request);
+    if (response.ok()) return std::move(response.value());
+    // A wire-level failure is, to the user, exactly the paper's "try
+    // later": the service was unreachable or shedding. Surface it as a
+    // typed FAILEDTRYLATER result so the population's outcome accounting
+    // stays truthful instead of crashing the simulation.
+    NegotiationResult failed;
+    failed.request_id = request_id;
+    failed.verdict = NegotiationStatus::kFailedTryLater;
+    failed.problems.push_back("wire: " + response.error().to_text());
+    return failed;
+  }
+
+  SessionManager& sessions() override { return service_->sessions(); }
+
+  /// Sessions live on the server's wall clock, as with the service backend.
+  double session_now_s(double /*sim_now_s*/) const override { return service_->now_s(); }
+
+  PolicyEngine* policy() override { return service_->config().policy; }
+
+ private:
+  WireClient* client_;
+  NegotiationService* service_;
+};
+
+}  // namespace qosnp

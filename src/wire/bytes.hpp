@@ -1,0 +1,134 @@
+// Little-endian fixed-width byte (de)serialisation primitives for the wire
+// protocol. Every multi-byte integer on the wire is little-endian regardless
+// of host order; doubles travel as the IEEE-754 bit pattern of their value
+// (byte-exact round trip, no text formatting loss); strings and lists are
+// length-prefixed with a u32 count.
+//
+// ByteReader is failure-latching: the first out-of-bounds or over-long read
+// poisons the reader and every later read returns a zero value, so decoders
+// can be written straight-line and check ok() once at the end — malformed
+// input can never index outside the buffer or allocate unbounded memory
+// (list counts are validated against the bytes actually remaining).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace qosnp::wire {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i32(std::int32_t v) { append_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    append_le(bits);
+  }
+  /// u32 byte count followed by the raw bytes.
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void raw(const std::uint8_t* data, std::size_t n) { out_.insert(out_.end(), data, data + n); }
+
+  const Bytes& bytes() const { return out_; }
+  Bytes take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  template <typename U>
+  void append_le(U v) {
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const Bytes& bytes) : ByteReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8() { return take_le<std::uint8_t>(); }
+  std::uint16_t u16() { return take_le<std::uint16_t>(); }
+  std::uint32_t u32() { return take_le<std::uint32_t>(); }
+  std::uint64_t u64() { return take_le<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(take_le<std::uint32_t>()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(take_le<std::uint64_t>()); }
+  double f64() {
+    const std::uint64_t bits = take_le<std::uint64_t>();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (failed_ || n > remaining()) {
+      fail("string length exceeds payload");
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  /// A list count, validated against the bytes remaining: a count claiming
+  /// more elements than `min_element_bytes`-sized elements could fit in the
+  /// rest of the buffer poisons the reader instead of driving a huge
+  /// allocation.
+  std::uint32_t count(std::size_t min_element_bytes = 1) {
+    const std::uint32_t n = u32();
+    if (failed_) return 0;
+    if (min_element_bytes == 0) min_element_bytes = 1;
+    if (n > remaining() / min_element_bytes) {
+      fail("list count exceeds payload");
+      return 0;
+    }
+    return n;
+  }
+
+  bool ok() const { return !failed_; }
+  const std::string& error() const { return error_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  /// Flag trailing garbage: a well-formed payload is consumed exactly.
+  bool exhausted() const { return !failed_ && pos_ == size_; }
+  void fail(const std::string& why) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = why;
+    }
+  }
+
+ private:
+  template <typename U>
+  U take_le() {
+    if (failed_ || sizeof(U) > remaining()) {
+      fail("truncated field");
+      return U{};
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(U);
+    return static_cast<U>(v);
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace qosnp::wire

@@ -1,0 +1,50 @@
+// Payload codecs of the qosnp wire protocol: the full NegotiationRequest
+// surface (client machine, document id, user profile with importance
+// factors, session class, cache policy, deadline) and the full
+// NegotiationResult surface (verdict, refusal component attribution via the
+// problems list, commit stats, chosen user offer, front-end latency fields)
+// as fixed-width little-endian fields — see docs/WIRE.md for the normative
+// field tables.
+//
+// Two things never cross the wire by design:
+//  - a request's `resolved` document pointer (renegotiation holds an
+//    in-process reference; encoding one is a typed kUnencodable error), and
+//  - a result's offer list / commitment (they belong to the server-side
+//    session; NegotiationService::submit clears them before resolving, so
+//    the wire result is exactly the in-process result surface).
+//
+// Every decoder returns a typed WireError on malformed input (truncated
+// field, out-of-range enum, over-long list, trailing bytes) — never UB,
+// never a partially-filled value.
+#pragma once
+
+#include <cstdint>
+
+#include "core/negotiation_request.hpp"
+#include "core/negotiation_result.hpp"
+#include "util/result.hpp"
+#include "wire/frame.hpp"
+
+namespace qosnp::wire {
+
+// --- payload codecs -------------------------------------------------------
+
+Result<Bytes, WireError> encode_request_payload(const NegotiationRequest& request);
+Result<NegotiationRequest, WireError> decode_request_payload(const Bytes& payload);
+
+Bytes encode_result_payload(const NegotiationResult& result);
+Result<NegotiationResult, WireError> decode_result_payload(const Bytes& payload);
+
+Bytes encode_error_payload(const WireError& error);
+Result<WireError, WireError> decode_error_payload(const Bytes& payload);
+
+// --- whole-frame conveniences ---------------------------------------------
+
+Result<Bytes, WireError> encode_request_frame(const NegotiationRequest& request,
+                                              std::uint64_t seq);
+Bytes encode_result_frame(const NegotiationResult& result, std::uint64_t seq);
+Bytes encode_error_frame(const WireError& error, std::uint64_t seq);
+Bytes encode_ping_frame(std::uint64_t seq);
+Bytes encode_pong_frame(std::uint64_t seq);
+
+}  // namespace qosnp::wire

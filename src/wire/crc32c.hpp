@@ -1,0 +1,18 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// frame trailer checksum of the wire protocol. Software table
+// implementation — the frame sizes involved (tens of bytes to ~1 MiB) make
+// a hardware SSE4.2 path a refinement, not a requirement, and the table
+// form is portable to every build the tree supports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qosnp::wire {
+
+/// CRC32C of `size` bytes starting at `data`, seeded with `seed` (pass a
+/// previous return value to continue a running checksum over split
+/// buffers). The empty-input checksum with the default seed is 0.
+std::uint32_t crc32c(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace qosnp::wire

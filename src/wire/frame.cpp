@@ -1,0 +1,130 @@
+#include "wire/frame.hpp"
+
+#include <cstring>
+
+#include "wire/crc32c.hpp"
+
+namespace qosnp::wire {
+
+std::string_view to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kRequest: return "REQUEST";
+    case FrameType::kResult: return "RESULT";
+    case FrameType::kError: return "ERROR";
+    case FrameType::kPing: return "PING";
+    case FrameType::kPong: return "PONG";
+  }
+  return "?";
+}
+
+std::string_view to_string(WireErrorCode code) {
+  switch (code) {
+    case WireErrorCode::kBadMagic: return "bad-magic";
+    case WireErrorCode::kBadVersion: return "bad-version";
+    case WireErrorCode::kBadFrameType: return "bad-frame-type";
+    case WireErrorCode::kBadFlags: return "bad-flags";
+    case WireErrorCode::kFrameTooLarge: return "frame-too-large";
+    case WireErrorCode::kBadCrc: return "bad-crc";
+    case WireErrorCode::kBadPayload: return "bad-payload";
+    case WireErrorCode::kUnencodable: return "unencodable";
+    case WireErrorCode::kOverloaded: return "overloaded";
+    case WireErrorCode::kTimeout: return "timeout";
+    case WireErrorCode::kConnectionClosed: return "connection-closed";
+    case WireErrorCode::kIo: return "io";
+  }
+  return "?";
+}
+
+std::string WireError::to_text() const {
+  std::string text(to_string(code));
+  if (!detail.empty()) {
+    text += ": ";
+    text += detail;
+  }
+  return text;
+}
+
+Bytes encode_frame(FrameType type, std::uint64_t seq, const Bytes& payload) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u16(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(0);  // flags
+  w.u64(seq);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload.data(), payload.size());
+  const std::uint32_t crc = crc32c(w.bytes().data(), w.size());
+  w.u32(crc);
+  return w.take();
+}
+
+void FrameAssembler::feed(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  // Reclaim the consumed prefix before growing: a long-lived connection's
+  // buffer stays proportional to its unparsed backlog, not its history.
+  if (consumed_ > 0 && (consumed_ == buffer_.size() || consumed_ >= 4096)) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes, bytes + size);
+}
+
+FrameAssembler::Next FrameAssembler::fail(WireErrorCode code, std::string detail,
+                                          std::uint64_t seq) {
+  poisoned_ = true;
+  Next n;
+  n.error = WireError{code, std::move(detail)};
+  n.error_seq = seq;
+  return n;
+}
+
+FrameAssembler::Next FrameAssembler::next() {
+  if (poisoned_) return fail(WireErrorCode::kBadMagic, "stream already poisoned");
+  const std::uint8_t* data = buffer_.data() + consumed_;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderBytes) return Next{};
+
+  ByteReader header(data, kHeaderBytes);
+  const std::uint32_t magic = header.u32();
+  const std::uint16_t version = header.u16();
+  const std::uint8_t type = header.u8();
+  const std::uint8_t flags = header.u8();
+  const std::uint64_t seq = header.u64();
+  const std::uint32_t payload_len = header.u32();
+
+  if (magic != kMagic) return fail(WireErrorCode::kBadMagic, "bad magic");
+  if (version != kProtocolVersion) {
+    return fail(WireErrorCode::kBadVersion,
+                "unsupported protocol version " + std::to_string(version), seq);
+  }
+  if (type >= kFrameTypeCount) {
+    return fail(WireErrorCode::kBadFrameType, "unknown frame type " + std::to_string(type), seq);
+  }
+  if (flags != 0) {
+    return fail(WireErrorCode::kBadFlags, "reserved flags set", seq);
+  }
+  if (kHeaderBytes + payload_len + kTrailerBytes > max_frame_bytes_) {
+    return fail(WireErrorCode::kFrameTooLarge,
+                "declared payload of " + std::to_string(payload_len) + " bytes exceeds limit",
+                seq);
+  }
+  const std::size_t total = kHeaderBytes + payload_len + kTrailerBytes;
+  if (available < total) return Next{};
+
+  const std::uint32_t expected = crc32c(data, kHeaderBytes + payload_len);
+  ByteReader trailer(data + kHeaderBytes + payload_len, kTrailerBytes);
+  const std::uint32_t actual = trailer.u32();
+  if (expected != actual) return fail(WireErrorCode::kBadCrc, "CRC32C mismatch", seq);
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.seq = seq;
+  frame.payload.assign(data + kHeaderBytes, data + kHeaderBytes + payload_len);
+  consumed_ += total;
+
+  Next n;
+  n.frame = std::move(frame);
+  return n;
+}
+
+}  // namespace qosnp::wire

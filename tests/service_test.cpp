@@ -7,7 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <future>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "test_service.hpp"
@@ -243,6 +248,97 @@ TEST(NegotiationService, ReportAccountsForEverySubmission) {
   EXPECT_LE(metrics.latency_p50_ms, metrics.latency_p95_ms);
   EXPECT_LE(metrics.latency_p95_ms, metrics.latency_p99_ms);
   EXPECT_GE(metrics.shed_rate(), 0.0);
+  EXPECT_TRUE(sys.drained());
+}
+
+TEST(NegotiationService, SubmitAsyncInvokesCallbackOnceWithTheResult) {
+  ServiceSystem sys;
+  ServiceConfig config;
+  config.workers = 2;
+  config.queue_capacity = 64;
+  NegotiationService service(*sys.manager, *sys.sessions, config);
+  service.start();
+
+  const UserProfile profile = TestSystem::tolerant_profile();
+  constexpr std::uint64_t kRequests = 16;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<NegotiationResult> results;
+  std::atomic<int> calls{0};
+  const std::thread::id submitter = std::this_thread::get_id();
+  std::atomic<bool> on_submitter_thread{false};
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    service.submit_async(make_request(sys, i, profile), [&](NegotiationResult result) {
+      ++calls;
+      if (std::this_thread::get_id() == submitter) on_submitter_thread = true;
+      std::lock_guard<std::mutex> lock(mu);
+      results.push_back(std::move(result));
+      cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return results.size() == kRequests; }));
+  }
+  service.stop();
+
+  EXPECT_EQ(calls.load(), static_cast<int>(kRequests));
+  // Nothing was shed (deep queue), so every callback ran on a worker.
+  EXPECT_FALSE(on_submitter_thread.load());
+  for (const NegotiationResult& resp : results) {
+    EXPECT_EQ(resp.verdict, NegotiationStatus::kSucceeded);
+    EXPECT_EQ(resp.shed, ShedReason::kNone);
+    EXPECT_GE(resp.worker, 0);
+    if (resp.session_id != 0) sys.sessions->complete(resp.session_id);
+  }
+  EXPECT_TRUE(sys.drained());
+}
+
+TEST(NegotiationService, SubmitAsyncShedRunsCallbackOnSubmitterThread) {
+  ServiceSystem sys;
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  config.simulated_rtt_ms = 20.0;  // keep the single worker busy
+  NegotiationService service(*sys.manager, *sys.sessions, config);
+  service.start();
+
+  const UserProfile profile = TestSystem::tolerant_profile();
+  const std::thread::id submitter = std::this_thread::get_id();
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t answered = 0;
+  std::size_t shed_on_this_thread = 0;
+  std::vector<SessionId> opened;
+  constexpr std::uint64_t kBurst = 24;
+  for (std::uint64_t i = 0; i < kBurst; ++i) {
+    service.submit_async(make_request(sys, i, profile), [&](NegotiationResult result) {
+      const bool inline_shed = std::this_thread::get_id() == submitter;
+      std::lock_guard<std::mutex> lock(mu);
+      if (result.shed == ShedReason::kQueueFull) {
+        EXPECT_TRUE(inline_shed);  // queue-edge sheds resolve on the submitter
+        EXPECT_EQ(result.verdict, NegotiationStatus::kFailedTryLater);
+        EXPECT_EQ(result.worker, -1);
+        ++shed_on_this_thread;
+      } else if (result.session_id != 0) {
+        opened.push_back(result.session_id);
+      }
+      ++answered;
+      cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(
+        cv.wait_for(lock, std::chrono::seconds(30), [&] { return answered == kBurst; }));
+  }
+  service.stop();
+
+  // A 24-deep burst against capacity 1 + one slow worker must shed inline.
+  EXPECT_GT(shed_on_this_thread, 0u);
+  EXPECT_EQ(service.report().shed_queue_full, shed_on_this_thread);
+  for (SessionId id : opened) sys.sessions->complete(id);
   EXPECT_TRUE(sys.drained());
 }
 
