@@ -44,9 +44,42 @@ check "negotiate(client, document, ...)" "\bnegotiate\([^()]*,[^()]*,"
 # arrive with their own allowlist entry in this script.
 check "[[deprecated]] marker" "\[\[deprecated"
 
+# check_new <label> <pattern> <scope...>: the softer gate for surfaces that
+# stay usable in existing code but are closed to NEW code. Only the listed
+# scopes (the post-NodeConfig additions) are swept.
+check_new() {
+    label="$1"
+    pattern="$2"
+    shift 2
+    hits=""
+    for scope in "$@"; do
+        [ -e "$repo/$scope" ] || continue
+        found="$(grep -rEn "$pattern" "$repo/$scope" 2>/dev/null || true)"
+        if [ -n "$found" ]; then
+            hits="$(printf '%s\n%s' "$hits" "$found")"
+        fi
+    done
+    if [ -n "$hits" ]; then
+        echo "new code must configure nodes through NodeConfig, not '$label':" >&2
+        echo "$hits" >&2
+        status=1
+    fi
+}
+
+# The loose config structs (ServiceConfig / CachePolicy / WireServerConfig)
+# remain the validated carriers underneath NodeConfig — existing call sites
+# keep working — but code written since the builder landed must go through
+# NodeConfig's per-field validation instead of naming them directly.
+new_code_scopes="src/shard tests/shard_test.cpp tests/shard_concurrency_test.cpp \
+    tests/node_config_test.cpp bench/bench_e20_shards.cpp"
+for name in ServiceConfig CachePolicy WireServerConfig; do
+    # shellcheck disable=SC2086
+    check_new "$name" "\b$name\b" $new_code_scopes
+done
+
 # Coverage guard: the directories this gate sweeps must actually exist (a
 # moved/renamed subsystem would otherwise silently fall out of coverage).
-for dir in src/core src/service src/session src/policy src/sim src/obs src/wire src/netio tests bench; do
+for dir in src/core src/service src/session src/policy src/sim src/obs src/wire src/netio src/shard tests bench; do
     if [ ! -d "$repo/$dir" ]; then
         echo "coverage guard: expected directory '$dir' is missing" >&2
         status=1

@@ -129,6 +129,7 @@ class ResourceCommitter {
                     SessionClass session_class = SessionClass::kStandard)
       : farm_(&farm), transport_(&transport), retry_(retry), jitter_rng_(retry.seed),
         session_class_(session_class) {}
+  virtual ~ResourceCommitter() = default;
 
   /// Try to reserve all resources of `offer` for delivery to `client`,
   /// retrying transient refusals under the retry policy. The returned
@@ -142,10 +143,31 @@ class ResourceCommitter {
   /// Cumulative counters over every commit() this committer ran.
   const CommitStats& stats() const { return stats_; }
 
- private:
-  Result<Commitment, Refusal> commit_once(const ClientMachine& client, const SystemOffer& offer,
-                                          CommitStats& stats);
+ protected:
+  /// One reservation walk over the offer's components. The retry loop,
+  /// stats accounting and trace annotations all live in commit(); a
+  /// subclass overriding this (the sharded FederatedCommitter) changes only
+  /// *where* reservations land, never the retry/rollback semantics. An
+  /// implementation must count rollbacks into stats.released_on_failure
+  /// exactly as the base does.
+  virtual Result<Commitment, Refusal> commit_once(const ClientMachine& client,
+                                                  const SystemOffer& offer, CommitStats& stats);
 
+  /// Append one (server, stream) / flow reservation to a commitment under
+  /// construction — the hooks a subclass uses to keep Commitment's RAII
+  /// rollback ordering (flows before streams) identical to the base walk.
+  static void attach_stream(Commitment& commitment, StreamServer* server, StreamId id) {
+    commitment.streams_.emplace_back(server, id);
+  }
+  static void attach_flow(Commitment& commitment, TransportProvider* transport, FlowId id) {
+    commitment.flows_.emplace_back(transport, id);
+  }
+
+  ServerProvider& farm() { return *farm_; }
+  TransportProvider& transport() { return *transport_; }
+  SessionClass session_class() const { return session_class_; }
+
+ private:
   ServerProvider* farm_;
   TransportProvider* transport_;
   RetryPolicy retry_;

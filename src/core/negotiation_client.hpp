@@ -1,0 +1,56 @@
+// NegotiationClient: the one client-side abstraction over every way a
+// NegotiationRequest can reach the negotiation procedure. The four
+// implementations cover the whole deployment spectrum behind an identical
+// call shape:
+//
+//   LocalClient    (src/policy/local_client.hpp)   — direct QoSManager call
+//                    plus Step-6 session admission, in this thread;
+//   ServiceClient  (src/service/service_client.hpp) — through the concurrent
+//                    NegotiationService worker pool;
+//   RemoteClient   (src/netio/remote_client.hpp)    — across the wire to a
+//                    qosnpd server;
+//   ShardedClient  (src/shard/sharded_client.hpp)   — consistent-hash routed
+//                    into a federation of N service shards.
+//
+// Same-seed request streams produce byte-identical procedure outcomes
+// (tests/result_signature.hpp) through every implementation — the
+// differential suites in tests/ hold the implementations to that.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "core/negotiation_request.hpp"
+#include "core/negotiation_result.hpp"
+
+namespace qosnp {
+
+class NegotiationClient {
+ public:
+  virtual ~NegotiationClient() = default;
+
+  /// Completion callback of submit_async: invoked exactly once with the
+  /// response, on whatever thread resolves the request (the caller's own
+  /// for synchronous implementations). Must not block.
+  using CompletionFn = std::function<void(NegotiationResult)>;
+
+  /// Negotiate one request and block for the result. The result never
+  /// carries the offer list or commitment — those belong to the opened
+  /// session (result.session_id) or were released before returning.
+  virtual NegotiationResult submit(NegotiationRequest request) = 0;
+
+  /// Fire-and-callback form. Synchronous implementations (LocalClient,
+  /// RemoteClient) resolve inline on the calling thread; the service-backed
+  /// implementations hand the request to their worker pool and return.
+  virtual void submit_async(NegotiationRequest request, CompletionFn done) {
+    done(submit(std::move(request)));
+  }
+
+  /// Snapshot of the client's metrics surface in Prometheus text form
+  /// (empty when the implementation keeps none). "Drain" is the caller's
+  /// promise: call it with no request in flight for exact counts.
+  virtual std::string drain_metrics() const = 0;
+};
+
+}  // namespace qosnp

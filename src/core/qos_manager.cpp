@@ -32,7 +32,12 @@ CommitAttempt QoSManager::commit_first(const ClientMachine& client, OfferList& o
   CommitAttempt attempt;
   ScopedSpan walk_span(trace, Stage::kCommitWalk);
   walk_span.annotate("class", std::string(to_string(session_class)));
-  ResourceCommitter committer(*farm_, *transport_, config_.retry, session_class);
+  std::unique_ptr<ResourceCommitter> owned_committer =
+      config_.committer_factory != nullptr
+          ? config_.committer_factory(config_.retry, session_class)
+          : std::make_unique<ResourceCommitter>(*farm_, *transport_, config_.retry,
+                                                session_class);
+  ResourceCommitter& committer = *owned_committer;
   auto excluded = [&](std::size_t i) {
     return std::find(exclude.begin(), exclude.end(), i) != exclude.end();
   };

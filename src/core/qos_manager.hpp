@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -52,6 +54,15 @@ struct NegotiationConfig {
   /// Shareable between managers/services; thread-safe. Requests opt out per
   /// call via NegotiationRequest::cache.
   std::shared_ptr<NegotiationPlanCache> plan_cache;
+  /// Pluggable Step-5 committer. When set, commit_first() obtains each
+  /// walk's committer here instead of constructing a plain ResourceCommitter
+  /// over the manager's farm/transport — the hook the sharded federation
+  /// uses to substitute its FederatedCommitter without touching the walk.
+  /// Deliberately not part of the plan-cache digest: the factory changes
+  /// where reservations land, never the Steps 1-4 outcome.
+  using CommitterFactory =
+      std::function<std::unique_ptr<ResourceCommitter>(const RetryPolicy&, SessionClass)>;
+  CommitterFactory committer_factory;
 };
 
 /// Result of walking the ordered offers and committing the first that fits.

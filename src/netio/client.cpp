@@ -129,7 +129,10 @@ Result<bool, WireError> WireClient::read_until(std::uint64_t seq, double deadlin
     if (deadline_ms > 0.0) {
       const double remaining = deadline_ms - waited.elapsed_ms();
       if (remaining <= 0.0) {
-        return Err(WireError{WireErrorCode::kTimeout,
+        // Typed distinctly from kOverloaded: an expired *caller* deadline
+        // must never be treated as a retry-elsewhere signal (the sharded
+        // router retries another shard only on overload).
+        return Err(WireError{WireErrorCode::kDeadlineExceeded,
                              "no response for seq " + std::to_string(seq) + " within " +
                                  std::to_string(deadline_ms) + "ms"});
       }

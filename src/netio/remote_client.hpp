@@ -1,0 +1,59 @@
+// RemoteClient: NegotiationClient across the wire. Wraps a WireClient and
+// absorbs the wire-error glue every remote caller used to repeat: a
+// wire-level failure is, to the user, exactly the paper's "try later" — the
+// service was unreachable, shedding, or the caller's own deadline expired —
+// so it surfaces as a typed FAILEDTRYLATER result whose problem string
+// carries the typed WireError (overloaded vs deadline-exceeded vs protocol
+// error stay distinguishable).
+//
+// A WireClient is not thread-safe, and neither is this adapter: one
+// RemoteClient per submitting thread, the way a real client process would.
+// submit_async resolves inline on the calling thread (the wire round-trip
+// is blocking in protocol v1).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/negotiation_client.hpp"
+#include "netio/client.hpp"
+#include "obs/metrics.hpp"
+
+namespace qosnp {
+
+class RemoteClient final : public NegotiationClient {
+ public:
+  explicit RemoteClient(WireClient& client) : client_(&client) {}
+
+  NegotiationResult submit(NegotiationRequest request) override {
+    const std::uint64_t request_id = request.id;
+    auto response = client_->submit(request);
+    if (response.ok()) {
+      metrics_
+          .counter("qosnp_client_responses_total", {{"outcome", "result"}},
+                   "RemoteClient wire round-trips, by outcome")
+          .inc();
+      return std::move(response.value());
+    }
+    metrics_
+        .counter("qosnp_client_responses_total",
+                 {{"outcome", std::string(to_string(response.error().code))}},
+                 "RemoteClient wire round-trips, by outcome")
+        .inc();
+    NegotiationResult failed;
+    failed.request_id = request_id;
+    failed.verdict = NegotiationStatus::kFailedTryLater;
+    failed.problems.push_back("wire: " + response.error().to_text());
+    return failed;
+  }
+
+  std::string drain_metrics() const override { return metrics_.expose(); }
+
+  WireClient& wire() { return *client_; }
+
+ private:
+  WireClient* client_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace qosnp

@@ -1,0 +1,65 @@
+// LocalClient: the in-process NegotiationClient. One call runs Steps 1-5
+// directly (QoSManager::negotiate, or PolicyEngine::negotiate when a
+// preemption engine is attached) on the calling thread and then performs
+// the same Step-6 admission the concurrent service applies: a kept offer
+// (SUCCEEDED, or FAILEDWITHOFFER with accept_degraded) opens a session
+// pending confirmation; a declined degraded offer is released on the spot.
+// The returned result is stripped of the offer list and commitment — they
+// belong to the opened session.
+//
+// This is the glue that previously lived inside ManagerPopulationBackend;
+// the population backend is now a thin adapter over this class, and any
+// other caller wanting manager-direct semantics gets the identical
+// behaviour here.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/negotiation_client.hpp"
+#include "core/qos_manager.hpp"
+#include "obs/metrics.hpp"
+#include "session/session.hpp"
+
+namespace qosnp {
+
+class PolicyEngine;
+
+class LocalClient final : public NegotiationClient {
+ public:
+  LocalClient(QoSManager& manager, SessionManager& sessions)
+      : manager_(&manager), sessions_(&sessions) {}
+
+  /// Route negotiations through a preemption/upgrade engine (which must
+  /// wrap the same manager/sessions pair). nullptr restores the direct path.
+  void set_policy(PolicyEngine* policy) { policy_ = policy; }
+  PolicyEngine* policy() const { return policy_; }
+
+  /// Observe every raw NegotiationResult as produced by the manager, before
+  /// admission strips the offers/commitment — the hook the differential
+  /// suites use to compare against direct QoSManager::negotiate calls.
+  void set_result_observer(std::function<void(const NegotiationResult&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Negotiate + admit with an explicit session-clock timestamp (the
+  /// population simulator passes its simulation time here).
+  NegotiationResult submit_at(NegotiationRequest request, double now_s);
+
+  NegotiationResult submit(NegotiationRequest request) override {
+    return submit_at(std::move(request), 0.0);
+  }
+
+  std::string drain_metrics() const override { return metrics_.expose(); }
+
+  SessionManager& sessions() { return *sessions_; }
+
+ private:
+  QoSManager* manager_;
+  SessionManager* sessions_;
+  PolicyEngine* policy_ = nullptr;
+  std::function<void(const NegotiationResult&)> observer_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace qosnp

@@ -26,6 +26,7 @@
 #include "core/classify.hpp"         // IWYU pragma: export
 #include "core/commit.hpp"           // IWYU pragma: export
 #include "core/enumerate.hpp"        // IWYU pragma: export
+#include "core/negotiation_client.hpp"  // IWYU pragma: export
 #include "core/offer.hpp"            // IWYU pragma: export
 #include "core/paper_example.hpp"    // IWYU pragma: export
 #include "core/qos_manager.hpp"      // IWYU pragma: export
@@ -51,6 +52,7 @@
 #include "qosmap/mapping.hpp"        // IWYU pragma: export
 #include "server/media_server.hpp"   // IWYU pragma: export
 #include "session/session.hpp"       // IWYU pragma: export
+#include "shard/directory.hpp"       // IWYU pragma: export
 #include "sim/experiment.hpp"        // IWYU pragma: export
 #include "sim/metrics.hpp"           // IWYU pragma: export
 #include "sim/replicate.hpp"         // IWYU pragma: export

@@ -16,13 +16,18 @@
 #include <utility>
 
 #include "service/negotiation_service.hpp"
+#include "service/service_client.hpp"
 #include "sim/population.hpp"
 
 namespace qosnp {
 
+/// Thin adapter over ServiceClient: the population's negotiate() is exactly
+/// the client's blocking submit(); only the session time base and the
+/// auto_confirm guard are backend concerns.
 class ServicePopulationBackend final : public PopulationBackend {
  public:
-  explicit ServicePopulationBackend(NegotiationService& service) : service_(&service) {
+  explicit ServicePopulationBackend(NegotiationService& service)
+      : service_(&service), client_(service) {
     if (service.config().auto_confirm) {
       throw std::invalid_argument(
           "ServicePopulationBackend: the service must run with auto_confirm=false "
@@ -31,20 +36,21 @@ class ServicePopulationBackend final : public PopulationBackend {
   }
 
   NegotiationResult negotiate(NegotiationRequest request, double /*sim_now_s*/) override {
-    return service_->submit(std::move(request)).get();
+    return client_.submit(std::move(request));
   }
 
-  SessionManager& sessions() override { return service_->sessions(); }
+  SessionManager& sessions() override { return client_.service().sessions(); }
 
   /// Sessions opened by the service live on its wall clock, not the
   /// simulation clock.
   double session_now_s(double /*sim_now_s*/) const override { return service_->now_s(); }
 
   /// The engine the service's workers negotiate through, when configured.
-  PolicyEngine* policy() override { return service_->config().policy; }
+  PolicyEngine* policy() override { return client_.service().config().policy; }
 
  private:
   NegotiationService* service_;
+  ServiceClient client_;
 };
 
 }  // namespace qosnp

@@ -1,0 +1,35 @@
+// ServiceClient: NegotiationClient over an in-process NegotiationService.
+// submit() blocks on the worker pool's future; submit_async() is the
+// service's own completion-callback primitive, unchanged. The service owns
+// admission, shedding and metrics — this adapter only narrows it to the
+// common client interface.
+#pragma once
+
+#include <utility>
+
+#include "core/negotiation_client.hpp"
+#include "service/negotiation_service.hpp"
+
+namespace qosnp {
+
+class ServiceClient final : public NegotiationClient {
+ public:
+  explicit ServiceClient(NegotiationService& service) : service_(&service) {}
+
+  NegotiationResult submit(NegotiationRequest request) override {
+    return service_->submit(std::move(request)).get();
+  }
+
+  void submit_async(NegotiationRequest request, CompletionFn done) override {
+    service_->submit_async(std::move(request), std::move(done));
+  }
+
+  std::string drain_metrics() const override { return service_->metrics().expose(); }
+
+  NegotiationService& service() { return *service_; }
+
+ private:
+  NegotiationService* service_;
+};
+
+}  // namespace qosnp

@@ -1,0 +1,81 @@
+// qosnp_shard_* metric bundle: the federation's observability surface,
+// registered into the one registry the whole sharded process exposes. The
+// counters close a global balance law the shard tests and bench_e20 assert
+// at drain (no request in flight):
+//
+//   requests                 == sum_k routed[k]      (every submit was routed)
+//   requests                 == sum_k responses[k]   (every submit resolved)
+//
+// plus the federation-side attribution counters: forwarded[k] counts
+// committed reservations that landed on shard k on behalf of a *different*
+// home shard, cross_commits[k] counts commitments homed on shard k that
+// spanned more than one shard, cross_commits_adapt the same for
+// session-manager adaptation walks (which have no home shard), and
+// federated_rollbacks counts cross-federation walks that had to roll back
+// partial reservations (the no-leak path).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace qosnp {
+
+struct ShardMetrics {
+  ShardMetrics(MetricsRegistry& registry, std::size_t shard_count) {
+    requests = &registry.counter("qosnp_shard_requests_total", {},
+                                 "Requests submitted to the shard router");
+    routed.reserve(shard_count);
+    responses.reserve(shard_count);
+    forwarded.reserve(shard_count);
+    cross_commits.reserve(shard_count);
+    for (std::size_t k = 0; k < shard_count; ++k) {
+      const std::string shard = std::to_string(k);
+      routed.push_back(&registry.counter("qosnp_shard_routed_total", {{"shard", shard}},
+                                         "Requests routed to their home shard"));
+      responses.push_back(&registry.counter("qosnp_shard_responses_total", {{"shard", shard}},
+                                            "Responses resolved, by home shard"));
+      forwarded.push_back(&registry.counter(
+          "qosnp_shard_forwarded_total", {{"shard", shard}},
+          "Committed reservations placed on this shard for another home shard"));
+      cross_commits.push_back(&registry.counter(
+          "qosnp_shard_cross_commits_total", {{"home", shard}},
+          "Commitments homed on this shard that spanned more than one shard"));
+    }
+    cross_commits_adapt = &registry.counter(
+        "qosnp_shard_cross_commits_total", {{"home", "adapt"}},
+        "Cross-shard commitments made by home-less session adaptation walks");
+    federated_rollbacks =
+        &registry.counter("qosnp_shard_federated_rollbacks_total", {},
+                          "Federated commit walks rolled back after partial reservation");
+  }
+
+  std::uint64_t routed_total() const {
+    std::uint64_t total = 0;
+    for (const Counter* c : routed) total += c->value();
+    return total;
+  }
+  std::uint64_t responses_total() const {
+    std::uint64_t total = 0;
+    for (const Counter* c : responses) total += c->value();
+    return total;
+  }
+
+  /// The global balance law; exact at drain.
+  bool balanced() const {
+    return requests->value() == routed_total() && requests->value() == responses_total();
+  }
+
+  Counter* requests;
+  std::vector<Counter*> routed;
+  std::vector<Counter*> responses;
+  std::vector<Counter*> forwarded;
+  std::vector<Counter*> cross_commits;
+  Counter* cross_commits_adapt;
+  Counter* federated_rollbacks;
+};
+
+}  // namespace qosnp

@@ -1,0 +1,46 @@
+// ShardedPopulationBackend: the population simulator over the federation.
+// A thin adapter over ShardedClient, exactly parallel to the service
+// backend: negotiate() blocks on the routed submit, sessions live on the
+// shared SessionManager, and the session time base is the shard services'
+// wall clock (every shard service is constructed together, so shard 0's
+// clock stands for the federation).
+//
+// The services must run with auto_confirm=false: Step 6 (confirm within
+// choicePeriod, abandon, or time out) belongs to the population.
+#pragma once
+
+#include <stdexcept>
+#include <utility>
+
+#include "shard/sharded_client.hpp"
+#include "sim/population.hpp"
+
+namespace qosnp {
+
+class ShardedPopulationBackend final : public PopulationBackend {
+ public:
+  explicit ShardedPopulationBackend(ShardedService& cluster)
+      : cluster_(&cluster), client_(cluster) {
+    if (cluster.service(0).config().auto_confirm) {
+      throw std::invalid_argument(
+          "ShardedPopulationBackend: the shard services must run with auto_confirm=false "
+          "(the population drives Step 6 itself)");
+    }
+  }
+
+  NegotiationResult negotiate(NegotiationRequest request, double /*sim_now_s*/) override {
+    return client_.submit(std::move(request));
+  }
+
+  SessionManager& sessions() override { return cluster_->sessions(); }
+
+  double session_now_s(double /*sim_now_s*/) const override {
+    return cluster_->service(0).now_s();
+  }
+
+ private:
+  ShardedService* cluster_;
+  ShardedClient client_;
+};
+
+}  // namespace qosnp

@@ -1,0 +1,35 @@
+// ShardedClient: NegotiationClient over the shard router — the fourth and
+// widest deployment shape behind the one client interface. submit() routes
+// by consistent hash and blocks on the home shard's worker pool;
+// drain_metrics() exposes the federation's single registry (per-shard
+// qosnp_shard_* counters included).
+#pragma once
+
+#include <utility>
+
+#include "core/negotiation_client.hpp"
+#include "shard/sharded_service.hpp"
+
+namespace qosnp {
+
+class ShardedClient final : public NegotiationClient {
+ public:
+  explicit ShardedClient(ShardedService& cluster) : cluster_(&cluster) {}
+
+  NegotiationResult submit(NegotiationRequest request) override {
+    return cluster_->router().submit(std::move(request)).get();
+  }
+
+  void submit_async(NegotiationRequest request, CompletionFn done) override {
+    cluster_->router().submit_async(std::move(request), std::move(done));
+  }
+
+  std::string drain_metrics() const override { return cluster_->metrics().expose(); }
+
+  ShardedService& cluster() { return *cluster_; }
+
+ private:
+  ShardedService* cluster_;
+};
+
+}  // namespace qosnp

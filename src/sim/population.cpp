@@ -147,32 +147,6 @@ double PopulationMetrics::adaptation_success_rate() const {
                        : static_cast<double>(t.adaptations) / static_cast<double>(attempts);
 }
 
-NegotiationResult ManagerPopulationBackend::negotiate(NegotiationRequest request,
-                                                      double sim_now_s) {
-  NegotiationResult result =
-      policy_ != nullptr ? policy_->negotiate(request) : manager_->negotiate(request);
-  if (observer_) observer_(result);
-  const bool keep = result.has_commitment() &&
-                    (result.verdict == NegotiationStatus::kSucceeded || request.accept_degraded);
-  if (keep) {
-    auto opened = sessions_->open(request.client, request.profile, std::move(result), sim_now_s,
-                                  request.session_class);
-    if (opened.ok()) {
-      result.session_id = opened.value();
-    } else {
-      QOSNP_LOG_WARN("population", "session open failed: ", opened.error());
-    }
-  } else if (result.has_commitment()) {
-    // A declined degraded offer: nothing stays reserved for a user who
-    // walked away (the same rule the service applies).
-    result.commitment.release();
-  }
-  result.offers = OfferList{};
-  result.commitment = Commitment{};
-  result.committed_index = SIZE_MAX;
-  return result;
-}
-
 UserDraws draw_user(const ClientClass& cls, Rng& rng, std::span<const DocumentId> documents) {
   UserDraws draws;
   draws.document = documents[rng.below(documents.size())];

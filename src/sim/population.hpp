@@ -34,6 +34,7 @@
 #include "client/client_machine.hpp"
 #include "core/negotiation_request.hpp"
 #include "core/negotiation_result.hpp"
+#include "policy/local_client.hpp"
 #include "policy/preemption.hpp"
 #include "profile/profiles.hpp"
 #include "session/session.hpp"
@@ -173,34 +174,34 @@ class PopulationBackend {
   virtual PolicyEngine* policy() { return nullptr; }
 };
 
-/// Direct in-process backend: QoSManager::negotiate + SessionManager::open,
-/// with the simulation clock as the session time base. Single-threaded and
-/// the fastest way to push millions of simulated users through the stack.
+/// Direct in-process backend: a thin adapter over LocalClient (which owns
+/// the negotiate + Step-6 admission glue), with the simulation clock as the
+/// session time base. Single-threaded and the fastest way to push millions
+/// of simulated users through the stack.
 class ManagerPopulationBackend final : public PopulationBackend {
  public:
   ManagerPopulationBackend(QoSManager& manager, SessionManager& sessions)
-      : manager_(&manager), sessions_(&sessions) {}
+      : client_(manager, sessions) {}
 
   /// Observe every raw NegotiationResult as produced by the manager, before
   /// admission strips the offers/commitment — the hook the differential
   /// suite uses to compare against direct QoSManager::negotiate calls.
   void set_result_observer(std::function<void(const NegotiationResult&)> observer) {
-    observer_ = std::move(observer);
+    client_.set_result_observer(std::move(observer));
   }
 
   /// Route negotiations through a preemption/upgrade engine (which must wrap
   /// the same manager/sessions pair). nullptr restores the direct path.
-  void set_policy(PolicyEngine* policy) { policy_ = policy; }
+  void set_policy(PolicyEngine* policy) { client_.set_policy(policy); }
 
-  NegotiationResult negotiate(NegotiationRequest request, double sim_now_s) override;
-  SessionManager& sessions() override { return *sessions_; }
-  PolicyEngine* policy() override { return policy_; }
+  NegotiationResult negotiate(NegotiationRequest request, double sim_now_s) override {
+    return client_.submit_at(std::move(request), sim_now_s);
+  }
+  SessionManager& sessions() override { return client_.sessions(); }
+  PolicyEngine* policy() override { return client_.policy(); }
 
  private:
-  QoSManager* manager_;
-  SessionManager* sessions_;
-  PolicyEngine* policy_ = nullptr;
-  std::function<void(const NegotiationResult&)> observer_;
+  LocalClient client_;
 };
 
 /// The per-user random draws, consumed from the user's RNG in this fixed,

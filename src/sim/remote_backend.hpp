@@ -18,22 +18,26 @@
 #pragma once
 
 #include <stdexcept>
-#include <string>
 #include <utility>
 
 #include "netio/client.hpp"
+#include "netio/remote_client.hpp"
 #include "service/negotiation_service.hpp"
 #include "sim/population.hpp"
 
 namespace qosnp {
 
+/// Thin adapter over RemoteClient, which owns the wire-error-to-
+/// FAILEDTRYLATER mapping; only the session reference and clock (still the
+/// co-hosted server's — protocol v1 carries negotiation, not lifecycle)
+/// are backend concerns.
 class WirePopulationBackend final : public PopulationBackend {
  public:
   /// `client` must be configured against `service`'s wire server. The
   /// service must run with auto_confirm=false (the population drives
   /// Step 6, exactly as with ServicePopulationBackend).
   WirePopulationBackend(WireClient& client, NegotiationService& service)
-      : client_(&client), service_(&service) {
+      : client_(client), service_(&service) {
     if (service.config().auto_confirm) {
       throw std::invalid_argument(
           "WirePopulationBackend: the service must run with auto_confirm=false "
@@ -42,18 +46,7 @@ class WirePopulationBackend final : public PopulationBackend {
   }
 
   NegotiationResult negotiate(NegotiationRequest request, double /*sim_now_s*/) override {
-    const std::uint64_t request_id = request.id;
-    auto response = client_->submit(request);
-    if (response.ok()) return std::move(response.value());
-    // A wire-level failure is, to the user, exactly the paper's "try
-    // later": the service was unreachable or shedding. Surface it as a
-    // typed FAILEDTRYLATER result so the population's outcome accounting
-    // stays truthful instead of crashing the simulation.
-    NegotiationResult failed;
-    failed.request_id = request_id;
-    failed.verdict = NegotiationStatus::kFailedTryLater;
-    failed.problems.push_back("wire: " + response.error().to_text());
-    return failed;
+    return client_.submit(std::move(request));
   }
 
   SessionManager& sessions() override { return service_->sessions(); }
@@ -64,7 +57,7 @@ class WirePopulationBackend final : public PopulationBackend {
   PolicyEngine* policy() override { return service_->config().policy; }
 
  private:
-  WireClient* client_;
+  RemoteClient client_;
   NegotiationService* service_;
 };
 

@@ -408,8 +408,7 @@ Result<WireError, WireError> decode_error_payload(const Bytes& payload) {
   if (!r.ok() || !r.exhausted()) {
     return Err(WireError{WireErrorCode::kBadPayload, "malformed error payload"});
   }
-  if (code < static_cast<std::uint16_t>(WireErrorCode::kBadMagic) ||
-      code > static_cast<std::uint16_t>(WireErrorCode::kIo)) {
+  if (code < static_cast<std::uint16_t>(WireErrorCode::kBadMagic) || code > kMaxWireErrorCode) {
     return Err(WireError{WireErrorCode::kBadPayload,
                          "unknown error code " + std::to_string(code)});
   }

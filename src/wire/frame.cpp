@@ -31,6 +31,7 @@ std::string_view to_string(WireErrorCode code) {
     case WireErrorCode::kTimeout: return "timeout";
     case WireErrorCode::kConnectionClosed: return "connection-closed";
     case WireErrorCode::kIo: return "io";
+    case WireErrorCode::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "?";
 }

@@ -61,7 +61,11 @@ enum class WireErrorCode : std::uint16_t {
   kTimeout = 10,        ///< client-side deadline expired while waiting
   kConnectionClosed = 11,  ///< peer closed (or connection never established)
   kIo = 12,             ///< socket-level failure (errno detail in message)
+  kDeadlineExceeded = 13,  ///< caller's own deadline expired; NOT worth
+                           ///< retrying elsewhere — the answer may still be
+                           ///< coming and retrying would double-spend it
 };
+inline constexpr std::uint16_t kMaxWireErrorCode = 13;
 
 std::string_view to_string(WireErrorCode code);
 

@@ -358,6 +358,63 @@ TEST(WireServerLoopback, MaxConnectionsShedsWithOverloadedError) {
   EXPECT_TRUE(fx.server->net().balanced());
 }
 
+TEST(WireClientDeadline, SilentServerSurfacesDeadlineExceededNotOverloaded) {
+  // A listener that accepts and never answers: the client's wait bound must
+  // expire as the *typed* kDeadlineExceeded — not kTimeout, and above all
+  // not kOverloaded, because a shard router retries overload on another
+  // shard but must never retry an expired deadline (the silent server may
+  // still be working on the request).
+  const int listener = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  ServiceSystem sys(1);
+  NegotiationRequest req;
+  req.id = 1;
+  req.client = sys.clients[0];
+  req.document = "article";
+  req.profile = TestSystem::tolerant_profile();
+
+  WireClientConfig config;
+  config.port = ntohs(addr.sin_port);
+  config.deadline_ms = 100.0;
+  WireClient client(config);
+  auto result = client.submit(req);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, WireErrorCode::kDeadlineExceeded);
+  EXPECT_FALSE(result.error().try_later());  // only overload invites a retry
+  client.close();
+  ::close(listener);
+}
+
+TEST(WireClientDeadline, OverloadStaysTypedAsTryLater) {
+  // The counterpart contract: a shed connection is kOverloaded and DOES
+  // invite a retry — the pair of codes a shard router keys its hop on.
+  WireServerConfig net;
+  net.max_connections = 1;
+  WireFixture fx(net);
+  WireClient occupant(fx.client_config());
+  ASSERT_TRUE(occupant.ping().ok());
+
+  WireClient shed(fx.client_config());
+  auto refused = shed.submit(fx.request(2));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, WireErrorCode::kOverloaded);
+  EXPECT_TRUE(refused.error().try_later());
+  EXPECT_NE(refused.error().code, WireErrorCode::kDeadlineExceeded);
+  occupant.close();
+  shed.close();
+  fx.server->stop();
+  EXPECT_TRUE(fx.server->net().balanced());
+}
+
 TEST(WireServerLoopback, IdleConnectionsAreReaped) {
   WireServerConfig net;
   net.idle_timeout_ms = 50.0;
